@@ -1,0 +1,72 @@
+// Ablation: MLB front-end scaling (Figure 4 shows a pool fronted by
+// several MLB VMs).
+//
+// The MLB is deliberately thin — E1 shows one MLB carrying four saturated
+// MMPs below 80% CPU — but it is still a single queue. This sweep drives a
+// larger MMP fleet and shows the single-MLB knee move out as MLB VMs are
+// added (eNodeBs spread across them; all share ring + load metadata; GUTI
+// spaces are partitioned so allocation needs no coordination).
+#include "bench_util.h"
+#include "scale_world.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace scale;
+
+struct Point {
+  double p99;
+  double mlb_util;
+};
+
+Point run(std::size_t mlbs, double rate) {
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = 8;
+  cfg.initial_mlbs = mlbs;
+  cfg.vm_template.app.profile.inactivity_timeout = Duration::ms(300.0);
+  bench::ScaleWorld w(cfg, /*enbs=*/2);
+
+  w.tb.make_ues(*w.site, 9000, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(25.0), Duration::sec(5.0));
+  w.tb.delays().clear();
+
+  const Time t0 = w.tb.engine().now();
+  std::vector<Duration> busy_before;
+  for (auto& mlb : w.cluster->mlbs())
+    busy_before.push_back(mlb->cpu().cumulative_busy());
+
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = rate;
+  drv.mix.service_request = 0.7;
+  drv.mix.tau = 0.3;
+  workload::OpenLoopDriver driver(w.tb.engine(), w.site->ue_ptrs(), drv);
+  driver.start(t0 + Duration::sec(8.0));
+  w.tb.run_for(Duration::sec(10.0));
+
+  double max_util = 0.0;
+  const Duration window = w.tb.engine().now() - t0;
+  for (std::size_t i = 0; i < w.cluster->mlb_count(); ++i) {
+    const Duration busy =
+        w.cluster->mlbs()[i]->cpu().cumulative_busy() - busy_before[i];
+    max_util = std::max(max_util, busy / window);
+  }
+  return Point{w.tb.delays().merged().percentile(0.99), max_util * 100.0};
+}
+
+}  // namespace
+
+int main() {
+  scale::bench::banner("Ablation", "MLB front-end scaling");
+  scale::bench::row_header({"req/s", "1mlb_p99", "1mlb_cpu%", "2mlb_p99",
+                            "2mlb_cpu%", "4mlb_p99", "4mlb_cpu%"});
+  for (double rate : {2000.0, 4000.0, 6000.0, 8000.0}) {
+    std::vector<double> cols = {rate};
+    for (std::size_t mlbs : {1u, 2u, 4u}) {
+      const auto p = run(mlbs, rate);
+      cols.push_back(p.p99);
+      cols.push_back(p.mlb_util);
+    }
+    scale::bench::row(cols);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared output helpers for the figure benches: aligned tabular series that
+// EXPERIMENTS.md cross-references against the paper's plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace scale::bench {
+
+inline void banner(const std::string& fig, const std::string& what) {
+  std::printf("\n==================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), what.c_str());
+  std::printf("==================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void row_header(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%14s", c.c_str());
+  std::printf("\n");
+}
+
+inline void row(const std::vector<double>& vals) {
+  for (double v : vals) std::printf("%14.2f", v);
+  std::printf("\n");
+}
+
+/// Print a compact CDF (x in ms, F) with `points` rows.
+inline void print_cdf(const std::string& label, const PercentileSampler& s,
+                      std::size_t points = 12) {
+  std::printf("%s: n=%llu p50=%.1fms p95=%.1fms p99=%.1fms\n", label.c_str(),
+              static_cast<unsigned long long>(s.count()),
+              s.percentile(0.50), s.percentile(0.95), s.percentile(0.99));
+  std::printf("  CDF:");
+  for (const auto& [x, f] : s.cdf(points)) std::printf(" (%.0fms,%.2f)", x, f);
+  std::printf("\n");
+}
+
+}  // namespace scale::bench

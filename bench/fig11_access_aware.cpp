@@ -1,0 +1,102 @@
+// Figure 11 — S3, "Access-awareness" (§5.1).
+//
+// With x = 0.2, devices whose access probability wᵢ ≤ x keep a single state
+// copy. Growing the low-probability population shrinks β(x) (Eq. 2) and
+// with it the provisioned VM count (Fig. 11(a)) — while delays stay nearly
+// flat (Fig. 11(b)) because the un-replicated devices are precisely the
+// ones that rarely ask for service.
+//
+// Scaled-down substitution (EXPERIMENTS.md): K = 30 K devices with
+// S = 600 states/VM, so full replication (β = 1) provisions 100 VMs, as in
+// the paper's 100 K-device setup.
+#include "bench_util.h"
+#include "scale_world.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace scale;
+
+constexpr std::size_t kDevices = 30000;
+constexpr double kLowWi = 0.08;   // ≤ x = 0.2 → single copy
+constexpr double kHighWi = 0.75;  // replicated + geo-eligible
+
+struct Point {
+  double beta;
+  double vms;
+  double mean_ms;
+  double p99_ms;
+};
+
+Point run(double low_fraction, std::uint64_t seed) {
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = 20;
+  cfg.policy.low_access_threshold = 0.2;  // x
+  cfg.provisioner.devices_per_vm = 600;   // S — memory is the binding term
+  cfg.provisioner.requests_per_vm_epoch = 5000;
+  cfg.new_device_reserve = 0.05;          // Sn = 5% of K
+  cfg.vm_template.app.profile.inactivity_timeout = Duration::ms(400.0);
+  // The front-end must not be the bottleneck at ~100 VMs (the paper scales
+  // MLB VMs horizontally; we give the single MLB node equivalent capacity).
+  cfg.mlb.cpu_speed = 8.0;
+  bench::ScaleWorld w(cfg, /*enbs=*/2, seed);
+
+  auto ues = w.tb.make_ues(*w.site, kDevices, {0.5});
+  w.tb.register_all(*w.site, Duration::sec(40.0), Duration::sec(4.0));
+
+  // Profiling database: seed wᵢ so the epoch's EWMA lands below/above x.
+  const auto cutoff =
+      static_cast<std::size_t>(low_fraction * static_cast<double>(kDevices));
+  std::size_t idx = 0;
+  std::vector<epc::Ue*> active_devices;
+  for (auto& ue : w.site->ues) {
+    if (!ue->registered()) continue;
+    const bool low = idx++ < cutoff;
+    if (!low) active_devices.push_back(ue.get());
+  }
+  // Mark contexts: master lookup by IMSI ordering is not stable, so mark by
+  // device identity through the cluster.
+  std::size_t low_marked = 0;
+  w.cluster->for_each_master([&](mme::UeContext& ctx) {
+    const bool low = low_marked < cutoff;
+    ctx.rec.access_freq = low ? kLowWi : kHighWi;
+    ctx.epoch_hits = low ? 0 : 1;
+    if (low) ++low_marked;
+  });
+
+  const auto report = w.cluster->run_epoch();
+  w.tb.run_for(Duration::sec(3.0));  // migrations settle
+
+  // Drive the high-wᵢ devices at a fixed absolute rate.
+  w.tb.delays().clear();
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = 4000.0;
+  drv.mix.service_request = 0.7;
+  drv.mix.tau = 0.3;
+  drv.seed = seed + 9;
+  workload::OpenLoopDriver driver(w.tb.engine(), active_devices, drv);
+  driver.start(w.tb.engine().now() + Duration::sec(8.0));
+  w.tb.run_for(Duration::sec(10.0));
+
+  const auto merged = w.tb.delays().merged();
+  return Point{report.beta, static_cast<double>(report.decision.vms),
+               merged.mean(), merged.percentile(0.99)};
+}
+
+}  // namespace
+
+int main() {
+  scale::bench::banner("Figure 11", "S3 — access-aware replication, x=0.2");
+  scale::bench::section(
+      "Fig 11(a,b): VMs provisioned and delays vs low-access fraction");
+  scale::bench::row_header(
+      {"low_frac", "beta", "VMs", "mean_ms", "p99_ms"});
+  for (double low_fraction : {0.0, 0.125, 0.25, 0.5}) {
+    const auto p = run(low_fraction, 42);
+    scale::bench::row({low_fraction, p.beta, p.vms, p.mean_ms, p.p99_ms});
+  }
+  std::printf(
+      "β=1 provisions for 2 copies of every device; β≈0.75 (50%% dormant)\n"
+      "cuts VMs ~25%% without materially moving the delay (paper Fig 11).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 3 — "MME pooling across multiple DCs" (§3.1-4).
+//
+//  (a) Propagation delays: 99th %tile delay per procedure as the eNodeB to
+//      MME RTT shrinks from 30 ms to 0 — multi-round-trip procedures
+//      (attach) suffer multiples of the RTT.
+//  (b) Average-load CDF: a pool entirely in the local DC vs a pool split
+//      across DCs (static assignment sends a fixed share of devices to the
+//      remote MME forever, inflating their delays even when the local DC
+//      has headroom).
+#include "bench_util.h"
+#include "mme/pool.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace scale;
+using testbed::Testbed;
+
+void fig3a() {
+  bench::section("Fig 3(a): 99th %tile delay vs eNodeB-MME RTT (one MME)");
+  bench::row_header({"rtt_ms", "attach_ms", "service_ms", "handover_ms"});
+  for (double rtt_ms : {30.0, 20.0, 10.0, 0.0}) {
+    Testbed tb;
+    auto& site = tb.add_site(2);
+    mme::MmePool::Config cfg;
+    cfg.node_template.sgw = site.sgw->node();
+    cfg.node_template.hss = tb.hss().node();
+    cfg.node_template.app.profile.inactivity_timeout = Duration::sec(2.0);
+    cfg.initial_count = 1;
+    mme::MmePool pool(tb.fabric(), cfg);
+    for (auto& enb : site.enbs) pool.connect_enb(*enb);
+    for (auto& enb : site.enbs)
+      tb.network().set_latency(enb->node(), pool.mme(0).node(),
+                               Duration::ms(rtt_ms / 2.0));
+
+    auto ues = tb.make_ues(site, 300, {0.5});
+    tb.register_all(site, Duration::sec(10.0), Duration::sec(6.0));
+    tb.delays().clear();
+
+    // Light load: pure protocol + propagation, no queueing.
+    workload::OpenLoopDriver::Config drv;
+    drv.rate_per_sec = 40.0;
+    drv.mix.service_request = 0.6;
+    drv.mix.handover = 0.4;
+    workload::OpenLoopDriver driver(tb.engine(), ues, drv);
+    driver.set_handover_targets(site.enb_ptrs());
+    driver.start(tb.engine().now() + Duration::sec(15.0));
+    // Cold attaches (full EPS-AKA + security + session establishment — the
+    // multi-round-trip procedure the RTT hits hardest) from fresh devices.
+    Rng rng(99);
+    for (int i = 0; i < 150; ++i) {
+      epc::Ue& fresh = tb.make_ue(site, i % site.enbs.size(), 0.5);
+      tb.engine().after(Duration::sec(rng.uniform(0.5, 14.0)),
+                        [&fresh]() { fresh.attach(); });
+    }
+    tb.run_for(Duration::sec(18.0));
+
+    bench::row({rtt_ms, tb.p99_ms("attach"), tb.p99_ms("service_request"),
+                tb.p99_ms("handover")});
+  }
+}
+
+void fig3b() {
+  bench::section(
+      "Fig 3(b): delay CDF under average load, single-DC vs split pool");
+  for (const bool split : {false, true}) {
+    Testbed tb;
+    auto& site = tb.add_site(2);
+    mme::MmePool::Config cfg;
+    cfg.node_template.sgw = site.sgw->node();
+    cfg.node_template.hss = tb.hss().node();
+    cfg.node_template.app.profile.inactivity_timeout = Duration::sec(2.0);
+    cfg.initial_count = 2;
+    mme::MmePool pool(tb.fabric(), cfg);
+    for (auto& enb : site.enbs) pool.connect_enb(*enb);
+    if (split) {
+      // MME2 lives in a remote DC, 15 ms one-way from everything local.
+      tb.network().set_node_dc(pool.mme(1).node(), 1);
+      tb.network().set_dc_latency(0, 1, Duration::ms(15.0));
+    }
+
+    auto ues = tb.make_ues(site, 400, {0.5});
+    tb.register_all(site, Duration::sec(10.0), Duration::sec(6.0));
+    tb.delays().clear();
+
+    workload::OpenLoopDriver::Config drv;
+    drv.rate_per_sec = 120.0;  // average load, far below pool capacity
+    drv.mix.service_request = 0.7;
+    drv.mix.tau = 0.3;
+    workload::OpenLoopDriver driver(tb.engine(), ues, drv);
+    driver.start(tb.engine().now() + Duration::sec(15.0));
+    tb.run_for(Duration::sec(18.0));
+
+    bench::print_cdf(split ? "multi-DC pool " : "single-DC pool",
+                     tb.delays().merged());
+  }
+}
+
+}  // namespace
+
+int main() {
+  scale::bench::banner("Figure 3", "static MME pooling across DCs");
+  fig3a();
+  fig3b();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 6 — "State Allocation" (analytical model, Appendix A1/A2).
+//
+//  (a) Normalized cost (processing delay) vs arrival rate for R = 1, 2, 3:
+//      one replica removes most of the saturation cost, R > 2 adds little.
+//  (b) Memory-constrained regime: random (access-unaware) replica selection
+//      vs SCALE's wᵢ-proportional selection (Eqs. 11-13).
+#include <vector>
+
+#include "analysis/access_model.h"
+#include "analysis/replication_model.h"
+#include "bench_util.h"
+#include "workload/population.h"
+
+namespace {
+
+using namespace scale;
+
+void fig6a() {
+  bench::section("Fig 6(a): normalized cost vs arrival rate, R = 1,2,3");
+  // Epoch T = 60 s; N = 240 servable devices per epoch puts the R=1 knee
+  // near λ ≈ 0.8-0.9 (overflow probability q^N transitions there); cost_C
+  // normalizes the R=1 saturation value to ≈20 as in the paper's plot.
+  const auto wis = workload::uniform_access(64, 0.9);
+  bench::row_header({"rate", "R=1", "R=2", "R=3"});
+  for (double lambda = 0.1; lambda <= 1.001; lambda += 0.1) {
+    analysis::ReplicationModel::Params p;
+    p.lambda = lambda;
+    p.epoch_T = 60.0;
+    p.capacity_N = 240;
+    p.cost_C = 12.0;
+    analysis::ReplicationModel model(p);
+    bench::row({lambda, model.average_cost(wis, 1), model.average_cost(wis, 2),
+                model.average_cost(wis, 3)});
+  }
+}
+
+void fig6b() {
+  bench::section(
+      "Fig 6(b): cost vs arrival rate, random vs access-aware replication");
+  // Memory-constrained: V·S' = 1.5·K < R·K. IoT-style population: 75% of
+  // devices are dormant THIS epoch (wᵢ → 0: they pin memory — each still
+  // needs one state copy — but generate no arrivals), 25% are hot. The
+  // access-unaware baseline wastes half the spare replicas on dormant
+  // devices, leaving half the hot population unprotected at the knee.
+  std::vector<double> wis = workload::bimodal_access(400, 0.75, 0.0, 0.9);
+  bench::row_header({"rate", "random", "probabilistic"});
+  for (double lambda = 0.70; lambda <= 1.001; lambda += 0.05) {
+    analysis::AccessAwareModel::Params p;
+    p.base.lambda = lambda;
+    p.base.epoch_T = 60.0;
+    p.base.capacity_N = 240;
+    p.base.cost_C = 12.0;
+    p.vms_V = 10;
+    p.usable_capacity_S = 60.0;  // V·S' = 600 = 1.5·K
+    p.devices_K = 400;
+    p.target_replicas_R = 2;
+    analysis::AccessAwareModel model(p);
+    bench::row({lambda, model.average_cost(wis, /*access_aware=*/false),
+                model.average_cost(wis, /*access_aware=*/true)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  scale::bench::banner("Figure 6",
+                       "stochastic replication model (Appendix A1/A2)");
+  fig6a();
+  fig6b();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Figure 9 — E3, "Placement of Replicas" (§5.1).
+//
+// SIMPLE (uniform spread + whole-VM pairwise replication) vs SCALE (token-
+// spread replication): VM1 driven to ~2× its capacity. Under SIMPLE, all of
+// VM1's spill-over lands on its single buddy VM2, overloading both; SCALE's
+// token placement dissolves the overload across the other VMs.
+//
+//  (a) CPU usage of VM1/VM2 under both systems;
+//  (b) delay CDF: SIMPLE p99 > 2× SCALE p99.
+#include "bench_util.h"
+#include "mme/simple.h"
+#include "scale_world.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace scale;
+using testbed::Testbed;
+
+constexpr std::size_t kVms = 5;
+constexpr double kCpuSpeed = 0.25;     // VM capacity ≈ 380 SR/s
+constexpr double kDriveRate = 1500.0;  // ≈ 2× one VM (mixed-procedure capacity)
+constexpr Duration kInactivity = Duration::ms(500.0);
+
+struct RunResult {
+  PercentileSampler delays;
+  double vm1_util = 0.0;
+  double vm2_util = 0.0;
+};
+
+RunResult run_simple() {
+  Testbed tb;
+  auto& site = tb.add_site(1);
+  mme::SimpleLb::Config lb_cfg;
+  mme::SimpleLb lb(tb.fabric(), lb_cfg);
+  std::vector<std::unique_ptr<mme::SimpleVm>> vms;
+  for (std::size_t i = 0; i < kVms; ++i) {
+    mme::ClusterVm::Config vm_cfg;
+    vm_cfg.sgw = site.sgw->node();
+    vm_cfg.hss = tb.hss().node();
+    vm_cfg.cpu_speed = kCpuSpeed;
+    vm_cfg.app.assign_guti_locally = false;
+    vm_cfg.app.mme_code = lb_cfg.mme_code;
+    vm_cfg.app.vm_code = static_cast<std::uint8_t>(i + 1);
+    vm_cfg.app.profile.inactivity_timeout = kInactivity;
+    vms.push_back(std::make_unique<mme::SimpleVm>(tb.fabric(), vm_cfg));
+    lb.add_vm(*vms.back());
+  }
+  site.enb(0).add_mme(lb.node(), lb_cfg.mme_code, 1.0);
+
+  auto ues = tb.make_ues(site, 3000, {0.8});
+  tb.register_all(site, Duration::sec(20.0), Duration::sec(6.0));
+
+  // VM1's devices: round-robin assignment → every kVms-th registrant.
+  std::vector<epc::Ue*> vm1_devices;
+  for (epc::Ue* ue : ues)
+    if (ue->registered() && vms[0]->app().store().contains(ue->guti()->key()))
+      vm1_devices.push_back(ue);
+
+  tb.delays().clear();
+  const Duration busy1 = vms[0]->cpu().cumulative_busy();
+  const Duration busy2 = vms[1]->cpu().cumulative_busy();
+  const Time t0 = tb.engine().now();
+
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = kDriveRate;
+  drv.mix.service_request = 0.6;
+  drv.mix.tau = 0.4;
+  workload::OpenLoopDriver driver(tb.engine(), vm1_devices, drv);
+  driver.start(t0 + Duration::sec(10.0));
+  tb.run_for(Duration::sec(12.0));
+
+  RunResult out;
+  out.delays = tb.delays().merged();
+  const Duration window = tb.engine().now() - t0;
+  out.vm1_util = (vms[0]->cpu().cumulative_busy() - busy1) / window;
+  out.vm2_util = (vms[1]->cpu().cumulative_busy() - busy2) / window;
+  return out;
+}
+
+RunResult run_scale() {
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = kVms;
+  cfg.vm_template.cpu_speed = kCpuSpeed;
+  cfg.vm_template.app.profile.inactivity_timeout = kInactivity;
+  bench::ScaleWorld w(cfg, /*enbs=*/1);
+
+  auto ues = w.tb.make_ues(*w.site, 3000, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(20.0), Duration::sec(6.0));
+
+  auto vm1_devices = w.devices_of(w.cluster->mmp(0));
+
+  w.tb.delays().clear();
+  const Duration busy1 = w.cluster->mmp(0).cpu().cumulative_busy();
+  const Duration busy2 = w.cluster->mmp(1).cpu().cumulative_busy();
+  const Time t0 = w.tb.engine().now();
+
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = kDriveRate;
+  drv.mix.service_request = 0.6;
+  drv.mix.tau = 0.4;
+  workload::OpenLoopDriver driver(w.tb.engine(), vm1_devices, drv);
+  driver.start(t0 + Duration::sec(10.0));
+  w.tb.run_for(Duration::sec(12.0));
+
+  RunResult out;
+  out.delays = w.tb.delays().merged();
+  const Duration window = w.tb.engine().now() - t0;
+  out.vm1_util = (w.cluster->mmp(0).cpu().cumulative_busy() - busy1) / window;
+  out.vm2_util = (w.cluster->mmp(1).cpu().cumulative_busy() - busy2) / window;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  scale::bench::banner("Figure 9",
+                       "E3 — replica placement: SIMPLE vs SCALE");
+  auto simple = run_simple();
+  auto scale_run = run_scale();
+
+  scale::bench::section("Fig 9(a): CPU usage while VM1's devices run at 2x");
+  scale::bench::row_header({"system", "vm1_cpu%", "vm2_cpu%"});
+  std::printf("%14s%14.2f%14.2f\n", "SIMPLE", simple.vm1_util * 100.0,
+              simple.vm2_util * 100.0);
+  std::printf("%14s%14.2f%14.2f\n", "SCALE", scale_run.vm1_util * 100.0,
+              scale_run.vm2_util * 100.0);
+
+  scale::bench::section("Fig 9(b): delay CDF");
+  scale::bench::print_cdf("SIMPLE", simple.delays);
+  scale::bench::print_cdf("SCALE ", scale_run.delays);
+  std::printf("p99 ratio SIMPLE/SCALE: %.1fx (paper: >400ms vs <200ms)\n",
+              simple.delays.percentile(0.99) /
+                  std::max(1e-9, scale_run.delays.percentile(0.99)));
+  return 0;
+}

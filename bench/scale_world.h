@@ -1,0 +1,44 @@
+// Bench-local helper: a single-DC SCALE deployment on a Testbed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "testbed/testbed.h"
+
+namespace scale::bench {
+
+struct ScaleWorld {
+  testbed::Testbed tb;
+  testbed::Testbed::Site* site = nullptr;
+  std::unique_ptr<core::ScaleCluster> cluster;
+
+  static testbed::Testbed::Config tb_cfg(std::uint64_t seed) {
+    testbed::Testbed::Config cfg;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  explicit ScaleWorld(core::ScaleCluster::Config cfg, std::size_t enbs = 2,
+                      std::uint64_t seed = 1)
+      : tb(tb_cfg(seed)) {
+    site = &tb.add_site(enbs);
+    cluster = std::make_unique<core::ScaleCluster>(
+        tb.fabric(), site->sgw->node(), tb.hss().node(), cfg);
+    for (auto& enb : site->enbs) cluster->connect_enb(*enb);
+  }
+
+  /// Registered UEs whose hash-ring master is `mmp`.
+  std::vector<epc::Ue*> devices_of(const core::MmpNode& mmp) const {
+    std::vector<epc::Ue*> out;
+    for (const auto& ue : site->ues) {
+      if (!ue->registered()) continue;
+      if (cluster->ring().owner(ue->guti()->key()) == mmp.node())
+        out.push_back(ue.get());
+    }
+    return out;
+  }
+};
+
+}  // namespace scale::bench

@@ -1,0 +1,68 @@
+// Elastic provisioning over a diurnal load curve (§4.4): the cluster runs
+// an epoch every 30 simulated seconds, estimating the next epoch's load
+// with the EWMA of Eq. 1 and resizing the MMP pool to
+// V(t) = max(⌈L̄/N⌉, ⌈β·R·K/S⌉). Watch the VM count track the sine wave —
+// the cost story behind "dimension the VM resources according to current
+// load".
+//
+//   $ ./build/examples/elastic_autoscale
+#include <cmath>
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+#include "workload/scenarios.h"
+
+using namespace scale;
+
+int main() {
+  testbed::Testbed tb;
+  auto& site = tb.add_site(2);
+
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = 2;
+  cfg.provisioner.alpha = 0.6;
+  cfg.provisioner.requests_per_vm_epoch = 6000;  // N per 30 s epoch
+  cfg.provisioner.devices_per_vm = 5000;          // S
+  cfg.provisioner.min_vms = 2;
+  cfg.epoch = Duration::sec(30.0);
+  cfg.auto_epochs = true;
+  cfg.vm_template.app.profile.inactivity_timeout = Duration::ms(400.0);
+  core::ScaleCluster cluster(tb.fabric(), site.sgw->node(), tb.hss().node(),
+                             cfg);
+  for (auto& enb : site.enbs) cluster.connect_enb(*enb);
+  cluster.start();
+
+  auto ues = tb.make_ues(site, 4000, {0.7});
+  tb.register_all(site, Duration::sec(20.0), Duration::sec(6.0));
+
+  // One "day" compressed into 6 minutes: load swings 100..900 req/s.
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = 100.0;
+  drv.mix.service_request = 0.7;
+  drv.mix.tau = 0.3;
+  workload::OpenLoopDriver driver(tb.engine(), ues, drv);
+  const Time start = tb.engine().now();
+  driver.start(start + Duration::sec(360.0));
+
+  const workload::DiurnalProfile profile(100.0, 900.0,
+                                         Duration::sec(360.0));
+  std::printf("%8s %10s %6s %8s %10s\n", "t_sec", "offered/s", "VMs",
+              "beta", "L_bar/s");
+  for (int minute = 0; minute < 12; ++minute) {
+    const double rate = profile.rate_at(Duration::sec(30.0 * minute));
+    driver.set_rate(rate);
+    tb.run_for(Duration::sec(30.0));
+    const auto& report = cluster.last_epoch();
+    std::printf("%8.0f %10.0f %6zu %8.2f %10.0f\n",
+                (tb.engine().now() - start).to_sec(), rate,
+                cluster.mmp_count(), report.beta,
+                report.decision.load_estimate / 30.0);
+  }
+
+  std::printf("\nepoch provisioning tracked the diurnal curve; VM-seconds "
+              "consumed: scale-up\nonly when the signaling load demanded "
+              "it (Eq. 1).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// IoT synchronous mass-access: the workload §3 warns about — "multiple
+// event-triggered devices become active simultaneously" (think a city-wide
+// power-restoration event waking every smart meter at once).
+//
+// Runs the same burst against (a) a classic 2-MME 3GPP pool with reactive
+// overload protection and (b) a 2-MMP SCALE cluster with proactive
+// replication, and compares the delay the devices experience.
+//
+//   $ ./build/examples/iot_mass_access
+#include <cstdio>
+
+#include "core/cluster.h"
+#include "mme/pool.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+#include "workload/population.h"
+
+using namespace scale;
+
+namespace {
+
+constexpr std::size_t kMeters = 1200;
+constexpr std::size_t kBurst = 500;  // wake 500 meters in one second
+constexpr double kCpuSpeed = 0.25;
+constexpr Duration kInactivity = Duration::ms(500.0);
+
+struct Result {
+  double p50;
+  double p99;
+  std::uint64_t served;
+};
+
+Result run_3gpp_pool() {
+  testbed::Testbed tb;
+  auto& site = tb.add_site(1);
+  mme::MmePool::Config cfg;
+  cfg.node_template.sgw = site.sgw->node();
+  cfg.node_template.hss = tb.hss().node();
+  cfg.node_template.cpu_speed = kCpuSpeed;
+  cfg.node_template.app.profile.inactivity_timeout = kInactivity;
+  cfg.node_template.overload_protection = true;
+  cfg.initial_count = 2;
+  mme::MmePool pool(tb.fabric(), cfg);
+  pool.connect_enb(site.enb(0));
+
+  tb.make_ues(site, kMeters, workload::bimodal_access(kMeters, 0.8));
+  tb.register_all(site, Duration::sec(20.0), Duration::sec(6.0));
+  tb.delays().clear();
+
+  // The event is *regional*: the meters that wake all live in cells whose
+  // static assignment pinned them to MME1 — exactly the spatio-temporal
+  // skew §3 describes. Half the fleet fires within one second.
+  std::vector<epc::Ue*> victims;
+  for (epc::Ue* ue : site.ue_ptrs())
+    if (ue->registered() &&
+        ue->guti()->mme_code == pool.mme(0).mme_code())
+      victims.push_back(ue);
+  workload::MassAccessEvent burst(tb.engine(), victims);
+  burst.schedule(tb.engine().now() + Duration::sec(1.0), kBurst,
+                 Duration::sec(1.0));
+  tb.run_for(Duration::sec(15.0));
+
+  const auto merged = tb.delays().merged();
+  return Result{merged.percentile(0.5), merged.percentile(0.99),
+                merged.count()};
+}
+
+Result run_scale() {
+  testbed::Testbed tb;
+  auto& site = tb.add_site(1);
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = 2;
+  cfg.vm_template.cpu_speed = kCpuSpeed;
+  cfg.vm_template.app.profile.inactivity_timeout = kInactivity;
+  core::ScaleCluster cluster(tb.fabric(), site.sgw->node(), tb.hss().node(),
+                             cfg);
+  cluster.connect_enb(site.enb(0));
+
+  tb.make_ues(site, kMeters, workload::bimodal_access(kMeters, 0.8));
+  tb.register_all(site, Duration::sec(20.0), Duration::sec(6.0));
+  tb.delays().clear();
+
+  // The same burst size; under consistent hashing the bursting region's
+  // devices are spread over every MMP, so no single VM drowns.
+  workload::MassAccessEvent burst(tb.engine(), site.ue_ptrs());
+  burst.schedule(tb.engine().now() + Duration::sec(1.0), kBurst,
+                 Duration::sec(1.0));
+  tb.run_for(Duration::sec(15.0));
+
+  const auto merged = tb.delays().merged();
+  return Result{merged.percentile(0.5), merged.percentile(0.99),
+                merged.count()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("synchronous mass access: %zu of %zu smart meters wake "
+              "within one second\n\n",
+              kBurst, kMeters);
+  const Result pool = run_3gpp_pool();
+  const Result scaled = run_scale();
+  std::printf("%-22s %10s %10s %10s\n", "system", "served", "p50_ms",
+              "p99_ms");
+  std::printf("%-22s %10llu %10.1f %10.1f\n", "3GPP pool (reactive)",
+              static_cast<unsigned long long>(pool.served), pool.p50,
+              pool.p99);
+  std::printf("%-22s %10llu %10.1f %10.1f\n", "SCALE (proactive)",
+              static_cast<unsigned long long>(scaled.served), scaled.p50,
+              scaled.p99);
+  std::printf("\nSCALE's consistent-hash + replica load balancing absorbs "
+              "the burst without\nthe redirect/state-transfer storm the "
+              "static pool needs.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "analysis/access_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scale::analysis {
+
+AccessAwareModel::AccessAwareModel(Params p) : p_(p), model_(p.base) {
+  SCALE_CHECK(p_.vms_V > 0);
+  SCALE_CHECK(p_.devices_K > 0);
+  SCALE_CHECK(p_.usable_capacity_S > 0.0);
+  SCALE_CHECK(p_.target_replicas_R >= 1);
+}
+
+unsigned AccessAwareModel::base_replicas() const {
+  const double ratio = static_cast<double>(p_.vms_V) * p_.usable_capacity_S /
+                       static_cast<double>(p_.devices_K);
+  const auto r_prime = static_cast<unsigned>(std::floor(ratio));
+  return std::min(r_prime, p_.target_replicas_R);
+}
+
+double AccessAwareModel::leftover_fraction() const {
+  const double ratio = static_cast<double>(p_.vms_V) * p_.usable_capacity_S /
+                       static_cast<double>(p_.devices_K);
+  if (ratio >= static_cast<double>(p_.target_replicas_R)) return 0.0;
+  return ratio - std::floor(ratio);
+}
+
+double AccessAwareModel::p_extra_uniform() const {
+  return std::clamp(leftover_fraction(), 0.0, 1.0);
+}
+
+double AccessAwareModel::p_extra_access_aware(double wi, double sum_w) const {
+  SCALE_CHECK(sum_w > 0.0);
+  const double extra_states =
+      leftover_fraction() * static_cast<double>(p_.devices_K);
+  return std::min(1.0, (wi / sum_w) * extra_states);
+}
+
+double AccessAwareModel::device_cost(double wi, double p_extra) const {
+  const unsigned r_prime = std::max(1u, base_replicas());
+  const double c_low = model_.expected_cost(wi, r_prime);
+  const double c_high = model_.expected_cost(wi, r_prime + 1);
+  return (1.0 - p_extra) * c_low + p_extra * c_high;
+}
+
+double AccessAwareModel::average_cost(std::span<const double> wis,
+                                      bool access_aware) const {
+  SCALE_CHECK(!wis.empty());
+  double sum_w = 0.0;
+  for (double w : wis) sum_w += w;
+  SCALE_CHECK(sum_w > 0.0);
+
+  double num = 0.0;
+  for (double wi : wis) {
+    const double p_extra = access_aware
+                               ? p_extra_access_aware(wi, sum_w)
+                               : p_extra_uniform();
+    num += wi * device_cost(wi, p_extra);
+  }
+  return num / sum_w;
+}
+
+}  // namespace scale::analysis

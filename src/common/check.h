@@ -1,0 +1,42 @@
+// Lightweight precondition / invariant checking for the SCALE library.
+//
+// Violations throw scale::CheckError rather than aborting: the library is
+// embedded in simulations and tests where recovery and reporting matter more
+// than a core dump. Checks are always on (they guard protocol and ring
+// invariants whose cost is negligible next to event processing).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scale {
+
+/// Thrown when a SCALE_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::string full = std::string("check failed: ") + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw CheckError(full);
+}
+}  // namespace detail
+
+}  // namespace scale
+
+#define SCALE_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::scale::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define SCALE_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::scale::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (0)

@@ -1,0 +1,141 @@
+// Statistics primitives used by the measurement harness:
+//   OnlineStats        — streaming mean/variance/min/max (Welford)
+//   PercentileSampler  — exact percentiles / CDF over retained samples
+//   Histogram          — fixed-width binning for cheap distribution dumps
+//   Ewma               — exponentially-weighted moving average (Eq. 1 load
+//                        estimator uses this shape)
+//   TimeSeries         — (time, value) trace, e.g. CPU utilization timelines
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace scale {
+
+/// Streaming first/second-moment accumulator (Welford's algorithm, no
+/// catastrophic cancellation).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Retains all samples (optionally capped with uniform reservoir sampling)
+/// and answers exact percentile and CDF queries over what was kept.
+class PercentileSampler {
+ public:
+  /// cap == 0 keeps every sample; otherwise reservoir-samples down to cap.
+  explicit PercentileSampler(std::size_t cap = 0);
+
+  void add(double x);
+  std::uint64_t count() const { return seen_; }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]; q=0.99 is the paper's "99th %tile". Nearest-rank method.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double mean() const;
+  double max() const;
+
+  /// Evenly spaced CDF points (x, F(x)) suitable for plotting; n >= 2.
+  std::vector<std::pair<double, double>> cdf(std::size_t n = 50) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::size_t cap_;
+  std::uint64_t seen_ = 0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  // reservoir state
+  std::uint64_t reservoir_index_ = 0;
+  std::uint64_t rng_state_ = 0x853C49E6748FEA9Bull;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  std::uint64_t total() const { return total_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Approximate quantile by linear interpolation within the bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exponentially weighted moving average: est ← alpha*x + (1-alpha)*est.
+/// This is exactly the paper's load estimator L̄(t) (Section 4.4, Eq. 1).
+class Ewma {
+ public:
+  explicit Ewma(double alpha, double initial = 0.0);
+
+  double update(double x);
+  double value() const { return value_; }
+  bool primed() const { return primed_; }
+  void reset(double v = 0.0);
+
+ private:
+  double alpha_;
+  double value_;
+  bool primed_ = false;
+};
+
+/// A sampled trace of (time, value) pairs, e.g. per-VM CPU utilization.
+class TimeSeries {
+ public:
+  void add(Time t, double v);
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const std::vector<std::pair<Time, double>>& points() const {
+    return points_;
+  }
+  double max_value() const;
+  double mean_value() const;
+  /// Mean of values with t in [from, to).
+  double mean_in(Time from, Time to) const;
+  /// Last value at or before t (0 if none).
+  double value_at(Time t) const;
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// Render a CDF as aligned text rows ("x  F" per line) for bench output.
+std::string format_cdf(const std::vector<std::pair<double, double>>& cdf,
+                       const std::string& x_label,
+                       const std::string& f_label);
+
+}  // namespace scale

@@ -1,0 +1,114 @@
+// MLB — the MME Load Balancer, SCALE's front-end (§4.1, §5).
+//
+// Exposes a single standard MME to the eNodeBs / S-GW / HSS and routes every
+// request into the MMP cluster with *no per-device state*:
+//
+//   * Idle→Active requests (InitialUeMessage): MD5(GUTI) on the consistent
+//     hash ring → master + replica preference list → forward to the least
+//     loaded (per LoadReports) — §4.6's fine-grained load balancing;
+//   * Active-mode requests: routed on the MMP code the serving VM embedded
+//     in the S1AP MME-UE id (uplink NAS, path switch) or S11 TEID;
+//   * S6 answers: routed on the echoed Diameter hop-by-hop ref;
+//   * ClusterReply envelopes from MMPs relay out of the standard
+//     interfaces;
+//   * unregistered devices get their GUTI assigned here, *before* routing
+//     (§4.3.1).
+//
+// The only metadata kept: the ring (membership) and one load scalar per MMP.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "epc/fabric.h"
+#include "hash/ring.h"
+#include "sim/cpu.h"
+#include "sim/metrics.h"
+
+namespace scale::core {
+
+using epc::Endpoint;
+using epc::Fabric;
+using sim::NodeId;
+
+class Mlb : public Endpoint {
+ public:
+  struct Config {
+    std::uint8_t mme_code = 1;  ///< the one logical MME the eNodeBs see
+    std::uint16_t plmn = 1;
+    std::uint16_t mme_group = 1;
+    /// Routing costs: ring lookups hash MD5 and consult the load map.
+    Duration initial_route_cost = Duration::us(35);
+    Duration relay_cost = Duration::us(20);
+    /// Choose the least loaded among the first `choices` preference-list
+    /// entries (R = 2 in SCALE).
+    unsigned choices = 2;
+    hash::ConsistentHashRing::Config ring;
+    double cpu_speed = 1.0;
+    /// First M-TMSI this MLB assigns; co-located MLB VMs of one pool use
+    /// disjoint ranges so uncoordinated allocation stays collision-free.
+    std::uint32_t tmsi_base = 1;
+  };
+
+  Mlb(Fabric& fabric, Config cfg);
+  ~Mlb() override;
+
+  NodeId node() const { return node_; }
+  std::uint8_t mme_code() const { return cfg_.mme_code; }
+  sim::CpuModel& cpu() { return cpu_; }
+  double utilization() const { return util_.utilization(); }
+  const hash::ConsistentHashRing& ring() const { return ring_; }
+
+  /// Install the cluster membership (provisioner pushes RingUpdates).
+  void apply_membership(
+      const std::vector<proto::RingUpdate::Member>& members,
+      std::uint64_t version);
+
+  /// Sink for geo-protocol messages the MLB proxies to the DC controller
+  /// (budget gossip, evict requests).
+  void set_geo_sink(
+      std::function<void(NodeId from, const proto::ClusterMessage&)> sink) {
+    geo_sink_ = std::move(sink);
+  }
+
+  double load_of(NodeId mmp) const;
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+  // Statistics.
+  std::uint64_t initial_routed() const { return initial_routed_; }
+  std::uint64_t sticky_routed() const { return sticky_routed_; }
+  std::uint64_t relays() const { return relays_; }
+  std::uint64_t unroutable() const { return unroutable_; }
+
+ private:
+  void route_initial(NodeId from, const proto::InitialUeMessage& msg);
+  void route_geo_forward(NodeId from, const proto::GeoForward& gf);
+  void route_geo_reject(const proto::GeoReject& rej);
+  /// Forward to a specific MMP wrapped in a ClusterForward.
+  void forward(NodeId mmp, NodeId origin, const proto::Guti& guti,
+               proto::Pdu inner, bool no_offload = false);
+  void route_by_code(NodeId from, std::uint8_t code, const proto::Pdu& pdu);
+  NodeId node_of_code(std::uint8_t code) const;
+  proto::Guti allocate_guti();
+  NodeId pick_least_loaded(const std::vector<hash::RingNodeId>& prefs) const;
+
+  Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  sim::UtilizationTracker util_;
+  hash::ConsistentHashRing ring_;
+  std::uint64_t ring_version_ = 0;
+  std::unordered_map<std::uint8_t, NodeId> code_to_node_;
+  std::unordered_map<NodeId, double> loads_;
+  std::uint32_t next_tmsi_;
+  std::function<void(NodeId, const proto::ClusterMessage&)> geo_sink_;
+
+  std::uint64_t initial_routed_ = 0;
+  std::uint64_t sticky_routed_ = 0;
+  std::uint64_t relays_ = 0;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace scale::core

@@ -1,0 +1,91 @@
+// MMP — a SCALE MME Processing VM (§4.1): an MmeApp behind the MLB, plus
+// SCALE's state-management behaviours (§4.3, §4.5, §4.6):
+//
+//   * after processing a request, asynchronously replicate the device's
+//     state to the ring neighbor (policy-gated: access-aware under memory
+//     pressure) — and bulk-sync on Active→Idle;
+//   * forward a request to the master MMP when the state isn't here;
+//   * when overloaded and the device has an external replica, offload
+//     processing to that remote DC (GeoForward);
+//   * hold External contexts for remote DCs within the GeoManager budget;
+//   * reply GeoReject when asked to serve an external device it no longer
+//     holds (self-healing after eviction).
+#pragma once
+
+#include "core/geo.h"
+#include "core/replication.h"
+#include "hash/ring.h"
+#include "mme/cluster_vm.h"
+
+namespace scale::core {
+
+class MmpNode final : public mme::ClusterVm {
+ public:
+  struct Config {
+    mme::ClusterVm::Config base;
+    /// Load signals above which Active-mode work is geo-offloaded when
+    /// possible (§4.6 task (3): "if its load is above a threshold"). The
+    /// CPU backlog is the instantaneous signal (no estimator lag — the
+    /// request would wait at least this long locally); the utilization
+    /// EWMA is the slow guard. Either trips the offload.
+    double offload_threshold = 0.85;
+    Duration offload_backlog = Duration::ms(40.0);
+    std::uint64_t seed = 7777;
+  };
+
+  MmpNode(epc::Fabric& fabric, Config cfg);
+
+  /// Wire the shared cluster state (owned by ScaleCluster, outlives VMs).
+  void set_ring(const hash::ConsistentHashRing* ring) { ring_ = ring; }
+  void set_policy(const ReplicationPolicy* policy) { policy_ = policy; }
+  void set_geo(GeoManager* geo) { geo_ = geo; }
+
+  bool is_master_of(std::uint64_t guti_key) const;
+
+  /// Migrate one master context to its new ring owner (ScaleCluster calls
+  /// this after membership changes). Charges transfer CPU on this VM and
+  /// install CPU at the destination; demotes or erases the local copy.
+  void migrate_master(std::uint64_t guti_key, NodeId new_owner);
+
+  /// Externally replicate this master context to remote DC `dc`
+  /// (asynchronous; goes through the remote DC's MLB).
+  void geo_replicate(std::uint64_t guti_key, std::uint32_t dc);
+
+  /// Re-push this master's replica per the current ring/policy (epoch
+  /// resync after membership churn).
+  void resync_replica(mme::UeContext& ctx) { on_state_adopted(ctx); }
+
+  std::uint64_t geo_offloads() const { return geo_offloads_; }
+  std::uint64_t geo_served() const { return geo_served_; }
+  std::uint64_t geo_rejects() const { return geo_rejects_; }
+  std::uint64_t forwarded_to_master() const { return forwarded_to_master_; }
+
+ protected:
+  void handle_forward(NodeId from, const proto::ClusterForward& fwd) override;
+  void handle_other_cluster(NodeId from,
+                            const proto::ClusterMessage& msg) override;
+  epc::ContextRole classify_replica(
+      const proto::UeContextRecord& rec) override;
+  void on_procedure_done(mme::UeContext& ctx,
+                         proto::ProcedureType type) override;
+  void on_idle_transition(mme::UeContext& ctx) override;
+  void on_detach(mme::UeContext& ctx) override;
+  void on_state_adopted(mme::UeContext& ctx) override;
+
+ private:
+  void replicate_local(mme::UeContext& ctx);
+  std::optional<NodeId> local_replica_target(std::uint64_t guti_key) const;
+
+  Config mmp_cfg_;
+  Rng rng_;
+  const hash::ConsistentHashRing* ring_ = nullptr;
+  const ReplicationPolicy* policy_ = nullptr;
+  GeoManager* geo_ = nullptr;
+
+  std::uint64_t geo_offloads_ = 0;
+  std::uint64_t geo_served_ = 0;
+  std::uint64_t geo_rejects_ = 0;
+  std::uint64_t forwarded_to_master_ = 0;
+};
+
+}  // namespace scale::core

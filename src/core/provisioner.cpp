@@ -1,0 +1,53 @@
+#include "core/provisioner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scale::core {
+
+Provisioner::Provisioner(Config cfg) : cfg_(cfg), load_(cfg.alpha) {
+  SCALE_CHECK(cfg_.requests_per_vm_epoch > 0);
+  SCALE_CHECK(cfg_.devices_per_vm > 0);
+  SCALE_CHECK(cfg_.replicas >= 1);
+  SCALE_CHECK(cfg_.min_vms >= 1 && cfg_.min_vms <= cfg_.max_vms);
+}
+
+void Provisioner::set_beta(double beta) {
+  SCALE_CHECK(beta > 0.0 && beta <= 1.0);
+  beta_ = beta;
+}
+
+double Provisioner::beta_for(std::uint64_t k_hat_x, std::uint64_t s_new,
+                             std::uint64_t s_external, unsigned replicas,
+                             std::uint64_t registered_devices) {
+  if (registered_devices == 0) return 1.0;
+  const double reclaimable =
+      static_cast<double>(k_hat_x) -
+      static_cast<double>(s_new) - static_cast<double>(s_external);
+  if (reclaimable <= 0.0) return 1.0;
+  const double beta = 1.0 - reclaimable / (static_cast<double>(replicas) *
+                                           static_cast<double>(registered_devices));
+  return std::clamp(beta, 1e-6, 1.0);
+}
+
+Provisioner::Decision Provisioner::decide(std::uint64_t measured_load,
+                                          std::uint64_t registered) {
+  const double estimate = load_.update(static_cast<double>(measured_load));
+
+  Decision d;
+  d.load_estimate = estimate;
+  d.beta = beta_;
+  d.compute_vms = static_cast<std::uint32_t>(
+      std::ceil(estimate / static_cast<double>(cfg_.requests_per_vm_epoch)));
+  d.storage_vms = static_cast<std::uint32_t>(
+      std::ceil(beta_ * static_cast<double>(cfg_.replicas) *
+                static_cast<double>(registered) /
+                static_cast<double>(cfg_.devices_per_vm)));
+  d.vms = std::clamp(std::max(d.compute_vms, d.storage_vms), cfg_.min_vms,
+                     cfg_.max_vms);
+  return d;
+}
+
+}  // namespace scale::core

@@ -1,0 +1,284 @@
+#include "epc/enodeb.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "epc/ue.h"
+
+namespace scale::epc {
+
+EnodeB::EnodeB(Fabric& fabric, Config cfg)
+    : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      rng_(cfg.seed) {}
+
+EnodeB::~EnodeB() { fabric_.remove_endpoint(node_); }
+
+void EnodeB::add_mme(NodeId mme, std::uint8_t mme_code, double weight) {
+  SCALE_CHECK(weight > 0.0);
+  mmes_.push_back(MmeEntry{mme, mme_code, weight});
+}
+
+void EnodeB::remove_mme(NodeId mme) {
+  std::erase_if(mmes_, [mme](const MmeEntry& e) { return e.node == mme; });
+}
+
+void EnodeB::set_mme_weight(NodeId mme, double weight) {
+  for (auto& e : mmes_)
+    if (e.node == mme) e.weight = weight;
+}
+
+NodeId EnodeB::route_by_code(std::uint8_t code) {
+  // Several pool members may expose the same MME code (e.g. multiple MLB
+  // VMs fronting one logical MME, Figure 4 of the paper): weighted-pick
+  // among them.
+  std::vector<double> weights;
+  std::vector<NodeId> nodes;
+  for (const auto& e : mmes_) {
+    if (e.code != code) continue;
+    weights.push_back(e.weight);
+    nodes.push_back(e.node);
+  }
+  if (nodes.empty()) return 0;
+  if (nodes.size() == 1) return nodes.front();
+  return nodes[rng_.weighted_index(weights)];
+}
+
+NodeId EnodeB::weighted_pick(std::optional<NodeId> exclude) {
+  std::vector<double> weights;
+  std::vector<NodeId> nodes;
+  for (const auto& e : mmes_) {
+    if (exclude && e.node == *exclude && mmes_.size() > 1) continue;
+    weights.push_back(e.weight);
+    nodes.push_back(e.node);
+  }
+  SCALE_CHECK_MSG(!nodes.empty(), "eNodeB has no connected MME");
+  return nodes[rng_.weighted_index(weights)];
+}
+
+NodeId EnodeB::select_mme(const proto::NasMessage& nas,
+                          std::optional<NodeId> exclude) {
+  // 3GPP static assignment (§3.1-1): registered devices follow the MME code
+  // carried by their temporary identity; only unregistered devices are
+  // weighted-selected. With exclusion (post-redirect re-attach), the GUTI
+  // route is bypassed — the network told the device to go elsewhere.
+  if (const auto* attach = std::get_if<proto::NasAttachRequest>(&nas)) {
+    if (attach->old_guti && !exclude) {
+      const NodeId n = route_by_code(attach->old_guti->mme_code);
+      if (n != 0) return n;
+    }
+    return weighted_pick(exclude);
+  }
+  if (const auto* sr = std::get_if<proto::NasServiceRequest>(&nas)) {
+    const NodeId n = route_by_code(sr->mme_code);
+    if (n != 0) return n;
+    return weighted_pick(exclude);
+  }
+  if (const auto* tau = std::get_if<proto::NasTauRequest>(&nas)) {
+    const NodeId n = route_by_code(tau->guti.mme_code);
+    if (n != 0) return n;
+    return weighted_pick(exclude);
+  }
+  if (const auto* det = std::get_if<proto::NasDetachRequest>(&nas)) {
+    const NodeId n = route_by_code(det->guti.mme_code);
+    if (n != 0) return n;
+    return weighted_pick(exclude);
+  }
+  return weighted_pick(exclude);
+}
+
+void EnodeB::ue_initial_nas(Ue& ue, proto::NasMessage nas,
+                            std::optional<NodeId> exclude_mme) {
+  // Radio leg UE -> eNB, then S1AP InitialUeMessage to the selected MME.
+  fabric_.engine().after(cfg_.radio_delay, [this, &ue, nas = std::move(nas),
+                                            exclude_mme]() mutable {
+    // Reuse an existing S1 connection if the UE still has one.
+    auto it = conns_.find(ue.s1_conn());
+    if (it != conns_.end() && it->second.ue == &ue) conns_.erase(it);
+    const proto::EnbUeId id = next_ue_id_++;
+    const NodeId mme = select_mme(nas, exclude_mme);
+    conns_[id] = Conn{&ue, mme, proto::MmeUeId{}, fabric_.engine().now()};
+    ue.set_s1_conn(id);
+    ensure_rrc_sweep();
+    proto::InitialUeMessage msg;
+    msg.enb_id = node_;
+    msg.enb_ue_id = id;
+    msg.tac = cfg_.tac;
+    msg.nas = std::move(nas);
+    fabric_.send(node_, mme, proto::make_pdu(std::move(msg)));
+  });
+}
+
+void EnodeB::ue_uplink_nas(Ue& ue, proto::NasMessage nas) {
+  fabric_.engine().after(cfg_.radio_delay, [this, &ue,
+                                            nas = std::move(nas)]() mutable {
+    const auto it = conns_.find(ue.s1_conn());
+    if (it == conns_.end() || it->second.ue != &ue) {
+      SCALE_DEBUG("uplink NAS without S1 connection, dropping");
+      return;
+    }
+    it->second.last_activity = fabric_.engine().now();
+    proto::UplinkNasTransport msg;
+    msg.enb_id = node_;
+    msg.enb_ue_id = it->first;
+    msg.mme_ue_id = it->second.mme_ue_id;
+    msg.nas = std::move(nas);
+    fabric_.send(node_, it->second.mme_node, proto::make_pdu(std::move(msg)));
+  });
+}
+
+void EnodeB::ue_arrive_handover(Ue& ue) {
+  fabric_.engine().after(cfg_.radio_delay, [this, &ue]() {
+    const proto::EnbUeId id = next_ue_id_++;
+    conns_[id] = Conn{&ue, ue.serving_mme(), ue.mme_ue_id(),
+                      fabric_.engine().now()};
+    ue.set_s1_conn(id);
+    ensure_rrc_sweep();
+    proto::PathSwitchRequest msg;
+    msg.new_enb_id = node_;
+    msg.enb_ue_id = id;
+    msg.mme_ue_id = ue.mme_ue_id();
+    msg.tac = cfg_.tac;
+    fabric_.send(node_, ue.serving_mme(), proto::make_pdu(msg));
+  });
+}
+
+void EnodeB::camp(Ue& ue) {
+  if (ue.guti()) camped_[ue.guti()->m_tmsi] = &ue;
+}
+
+void EnodeB::decamp(Ue& ue) {
+  if (ue.guti()) {
+    const auto it = camped_.find(ue.guti()->m_tmsi);
+    if (it != camped_.end() && it->second == &ue) camped_.erase(it);
+  }
+}
+
+void EnodeB::drop_connection(Ue& ue) {
+  const auto it = conns_.find(ue.s1_conn());
+  if (it != conns_.end() && it->second.ue == &ue) conns_.erase(it);
+}
+
+void EnodeB::ensure_rrc_sweep() {
+  if (cfg_.rrc_inactivity <= Duration::zero() || rrc_sweep_running_) return;
+  rrc_sweep_running_ = true;
+  fabric_.engine().after(cfg_.rrc_inactivity / 4, [this]() { rrc_sweep(); });
+}
+
+void EnodeB::rrc_sweep() {
+  rrc_sweep_running_ = false;
+  const Time now = fabric_.engine().now();
+  std::vector<proto::EnbUeId> stale;
+  for (const auto& [id, conn] : conns_)
+    if (now - conn.last_activity >= cfg_.rrc_inactivity) stale.push_back(id);
+  for (proto::EnbUeId id : stale) {
+    Ue& ue = *conns_.at(id).ue;
+    conns_.erase(id);
+    ++rrc_releases_;
+    fabric_.engine().after(cfg_.radio_delay, [&ue, this]() {
+      ue.on_release(proto::ReleaseCause::kUserInactivity, 0);
+    });
+  }
+  if (!conns_.empty()) ensure_rrc_sweep();
+}
+
+EnodeB::Conn* EnodeB::conn_by_enb_ue_id(proto::EnbUeId id) {
+  const auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void EnodeB::to_ue(Ue& ue, proto::NasMessage nas) {
+  fabric_.engine().after(cfg_.radio_delay, [&ue, nas = std::move(nas)]() {
+    ue.deliver_nas(nas);
+  });
+}
+
+void EnodeB::receive(NodeId from, const proto::Pdu& pdu) {
+  const auto* s1ap = std::get_if<proto::S1apMessage>(&pdu);
+  if (s1ap == nullptr) {
+    SCALE_WARN("eNodeB received non-S1AP PDU: " << proto::pdu_name(pdu));
+    return;
+  }
+  handle_s1ap(from, *s1ap);
+}
+
+void EnodeB::handle_s1ap(NodeId from, const proto::S1apMessage& msg) {
+  std::visit(
+      [this, from](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::DownlinkNasTransport>) {
+          Conn* conn = conn_by_enb_ue_id(m.enb_ue_id);
+          if (conn == nullptr) {
+            SCALE_DEBUG("downlink NAS for unknown connection");
+            return;
+          }
+          conn->last_activity = fabric_.engine().now();
+          conn->mme_ue_id = m.mme_ue_id;
+          conn->ue->learn_serving_mme(conn->mme_node, m.mme_ue_id);
+          Ue& ue = *conn->ue;
+          // A TAU or Detach accept ends the transient signaling connection.
+          const bool final_msg =
+              std::holds_alternative<proto::NasTauAccept>(m.nas) ||
+              std::holds_alternative<proto::NasDetachAccept>(m.nas);
+          if (final_msg) conns_.erase(m.enb_ue_id);
+          to_ue(ue, m.nas);
+        } else if constexpr (std::is_same_v<T,
+                                            proto::InitialContextSetupRequest>) {
+          Conn* conn = conn_by_enb_ue_id(m.enb_ue_id);
+          if (conn == nullptr) return;
+          conn->mme_ue_id = m.mme_ue_id;
+          conn->ue->learn_serving_mme(conn->mme_node, m.mme_ue_id);
+          proto::InitialContextSetupResponse resp;
+          resp.enb_id = node_;
+          resp.enb_ue_id = m.enb_ue_id;
+          resp.mme_ue_id = m.mme_ue_id;
+          resp.enb_teid = proto::Teid::make(0, m.enb_ue_id);
+          fabric_.send(node_, from, proto::make_pdu(resp));
+          Ue& ue = *conn->ue;
+          fabric_.engine().after(cfg_.radio_delay,
+                                 [&ue]() { ue.on_connection_established(); });
+        } else if constexpr (std::is_same_v<T,
+                                            proto::UeContextReleaseCommand>) {
+          proto::UeContextReleaseComplete resp;
+          resp.enb_id = node_;
+          resp.enb_ue_id = m.enb_ue_id;
+          resp.mme_ue_id = m.mme_ue_id;
+          Conn* conn = conn_by_enb_ue_id(m.enb_ue_id);
+          if (conn == nullptr &&
+              m.cause == proto::ReleaseCause::kLoadBalancingTauRequired) {
+            SCALE_DEBUG("rebalance release for dead connection "
+                        << m.enb_ue_id);
+          }
+          if (conn != nullptr) {
+            Ue& ue = *conn->ue;
+            const NodeId releasing = conn->mme_node;
+            const auto cause = m.cause;
+            conns_.erase(m.enb_ue_id);
+            fabric_.engine().after(cfg_.radio_delay, [&ue, cause, releasing]() {
+              ue.on_release(cause, releasing);
+            });
+          }
+          fabric_.send(node_, from, proto::make_pdu(resp));
+        } else if constexpr (std::is_same_v<T, proto::Paging>) {
+          const auto it = camped_.find(m.m_tmsi);
+          if (it != camped_.end()) {
+            ++paging_hits_;
+            Ue& ue = *it->second;
+            fabric_.engine().after(cfg_.radio_delay,
+                                   [&ue]() { ue.on_paging(); });
+          }
+        } else if constexpr (std::is_same_v<T, proto::PathSwitchAck>) {
+          Conn* conn = conn_by_enb_ue_id(m.enb_ue_id);
+          if (conn == nullptr) return;
+          conn->mme_ue_id = m.mme_ue_id;
+          conn->ue->learn_serving_mme(conn->mme_node, m.mme_ue_id);
+          Ue& ue = *conn->ue;
+          fabric_.engine().after(cfg_.radio_delay,
+                                 [&ue]() { ue.on_connection_established(); });
+        } else {
+          SCALE_DEBUG("eNodeB ignoring S1AP message");
+        }
+      },
+      msg);
+}
+
+}  // namespace scale::epc

@@ -1,0 +1,43 @@
+#include "epc/fabric.h"
+
+#include "common/logging.h"
+#include "proto/codec.h"
+
+namespace scale::epc {
+
+Fabric::Fabric(sim::Engine& engine, sim::Network& network)
+    : engine_(engine), network_(network) {}
+
+NodeId Fabric::add_endpoint(Endpoint* ep) {
+  SCALE_CHECK(ep != nullptr);
+  const NodeId id = next_id_++;
+  endpoints_.emplace(id, ep);
+  return id;
+}
+
+void Fabric::remove_endpoint(NodeId id) {
+  SCALE_CHECK_MSG(endpoints_.erase(id) == 1, "removing unknown endpoint");
+}
+
+bool Fabric::is_registered(NodeId id) const {
+  return endpoints_.count(id) > 0;
+}
+
+void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
+  const std::size_t bytes =
+      account_bytes_ ? proto::wire_size(pdu) : std::size_t{64};
+  network_.record_transfer(from, to, bytes);
+  const Duration latency = network_.delay(from, to);
+  engine_.after(latency, [this, from, to, p = std::move(pdu)]() {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++dropped_;
+      SCALE_DEBUG("dropped " << proto::pdu_name(p) << " to departed node "
+                             << to);
+      return;
+    }
+    it->second->receive(from, p);
+  });
+}
+
+}  // namespace scale::epc

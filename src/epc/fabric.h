@@ -1,0 +1,67 @@
+// Fabric: the wiring between control-plane entities.
+//
+// Every addressable entity (eNodeB, MLB, MMP, classic MME, S-GW, HSS)
+// registers as an Endpoint and gets a NodeId. `send` applies the Network's
+// propagation delay and byte accounting, then delivers the PDU. Delivery to
+// an unregistered node (e.g. an MMP VM that was just de-provisioned) is
+// counted and dropped — exactly what a closed TCP/SCTP association does.
+//
+// UEs are deliberately *not* fabric endpoints: they talk to their eNodeB
+// over the radio interface, modeled as a fixed delay inside EnodeB/Ue. This
+// keeps the routing table at the size of the infrastructure, not the
+// subscriber population.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "proto/pdu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace scale::epc {
+
+using sim::NodeId;
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Handle a PDU delivered from `from`. Implementations must not assume
+  /// sender honesty beyond what the codecs guarantee.
+  virtual void receive(NodeId from, const proto::Pdu& pdu) = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, sim::Network& network);
+
+  /// Register an endpoint; returns its NodeId. The endpoint must outlive
+  /// its registration.
+  NodeId add_endpoint(Endpoint* ep);
+
+  /// Remove an endpoint (in-flight messages to it will be dropped).
+  void remove_endpoint(NodeId id);
+
+  bool is_registered(NodeId id) const;
+
+  /// Send a PDU from -> to with network delay + accounting.
+  void send(NodeId from, NodeId to, proto::Pdu pdu);
+
+  /// When disabled, skips the encode pass used for byte accounting
+  /// (message counters still work) — for very large simulations.
+  void set_byte_accounting(bool on) { account_bytes_ = on; }
+
+  std::uint64_t dropped() const { return dropped_; }
+  sim::Engine& engine() { return engine_; }
+  sim::Network& network() { return network_; }
+
+ private:
+  sim::Engine& engine_;
+  sim::Network& network_;
+  std::unordered_map<NodeId, Endpoint*> endpoints_;
+  NodeId next_id_ = 1;
+  bool account_bytes_ = true;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace scale::epc

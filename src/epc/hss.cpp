@@ -1,0 +1,93 @@
+#include "epc/hss.h"
+
+#include "common/logging.h"
+#include "hash/md5.h"
+
+namespace scale::epc {
+
+Hss::Hss(Fabric& fabric, Config cfg)
+    : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      cpu_(fabric.engine()) {}
+
+Hss::~Hss() { fabric_.remove_endpoint(node_); }
+
+void Hss::provision_subscriber(proto::Imsi imsi, std::uint64_t key,
+                               std::uint32_t profile_id) {
+  subscribers_[imsi] = Subscriber{key, profile_id, 0};
+}
+
+bool Hss::has_subscriber(proto::Imsi imsi) const {
+  return subscribers_.count(imsi) > 0;
+}
+
+std::uint32_t Hss::serving_mme_of(proto::Imsi imsi) const {
+  const auto it = subscribers_.find(imsi);
+  return it == subscribers_.end() ? 0 : it->second.serving_mme;
+}
+
+std::uint64_t Hss::f_autn(std::uint64_t key, std::uint64_t rand) {
+  return hash::fnv1a_u64(key ^ (rand * 0x9E3779B97F4A7C15ull));
+}
+
+std::uint64_t Hss::f_res(std::uint64_t key, std::uint64_t rand) {
+  return hash::fnv1a_u64((key * 0xC2B2AE3D27D4EB4Full) ^ rand);
+}
+
+void Hss::receive(NodeId from, const proto::Pdu& pdu) {
+  const auto* s6 = std::get_if<proto::S6Message>(&pdu);
+  if (s6 == nullptr) {
+    SCALE_WARN("HSS received non-S6 PDU: " << proto::pdu_name(pdu));
+    return;
+  }
+  std::visit(
+      [this, from](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, proto::AuthInfoRequest>) {
+          handle_auth(from, msg);
+        } else if constexpr (std::is_same_v<T, proto::UpdateLocationRequest>) {
+          handle_location(from, msg);
+        } else {
+          SCALE_WARN("HSS: unexpected S6 message");
+        }
+      },
+      *s6);
+}
+
+void Hss::handle_auth(NodeId from, const proto::AuthInfoRequest& req) {
+  cpu_.execute(cfg_.auth_service_time, [this, from, req]() {
+    proto::AuthInfoAnswer ans;
+    ans.imsi = req.imsi;
+    ans.hop_ref = req.hop_ref;
+    const auto it = subscribers_.find(req.imsi);
+    if (it == subscribers_.end()) {
+      ans.known_subscriber = false;
+    } else {
+      ans.known_subscriber = true;
+      ans.rand = ++rand_counter_ * 0x2545F4914F6CDD1Dull;
+      ans.autn = f_autn(it->second.key, ans.rand);
+      ans.xres = f_res(it->second.key, ans.rand);
+    }
+    ++auth_served_;
+    fabric_.send(node_, from, proto::make_pdu(ans));
+  });
+}
+
+void Hss::handle_location(NodeId from,
+                          const proto::UpdateLocationRequest& req) {
+  cpu_.execute(cfg_.location_service_time, [this, from, req]() {
+    proto::UpdateLocationAnswer ans;
+    ans.imsi = req.imsi;
+    ans.hop_ref = req.hop_ref;
+    const auto it = subscribers_.find(req.imsi);
+    if (it == subscribers_.end()) {
+      ans.ok = false;
+    } else {
+      it->second.serving_mme = req.mme_id;
+      ans.ok = true;
+      ans.profile_id = it->second.profile_id;
+    }
+    fabric_.send(node_, from, proto::make_pdu(ans));
+  });
+}
+
+}  // namespace scale::epc

@@ -1,0 +1,68 @@
+// HSS — Home Subscriber Server: the subscription database (§2).
+//
+// Serves EPS-AKA authentication vectors over S6a and records location
+// updates. Vectors are derived deterministically from the subscriber key so
+// that the UE (which holds the same key) computes a RES that matches XRES —
+// a real end-to-end authentication check, not a stub.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "epc/fabric.h"
+#include "sim/cpu.h"
+
+namespace scale::epc {
+
+class Hss : public Endpoint {
+ public:
+  struct Config {
+    Duration auth_service_time = Duration::us(80);
+    Duration location_service_time = Duration::us(60);
+  };
+
+  Hss(Fabric& fabric, Config cfg);
+  Hss(Fabric& fabric) : Hss(fabric, Config{}) {}
+  ~Hss() override;
+
+  NodeId node() const { return node_; }
+  sim::CpuModel& cpu() { return cpu_; }
+
+  /// Register a subscriber with its permanent key K.
+  void provision_subscriber(proto::Imsi imsi, std::uint64_t key,
+                            std::uint32_t profile_id = 1);
+  bool has_subscriber(proto::Imsi imsi) const;
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+
+  /// MME id recorded by the last Update Location for this subscriber
+  /// (0 = never registered / unknown IMSI).
+  std::uint32_t serving_mme_of(proto::Imsi imsi) const;
+
+  /// Deterministic AKA functions — shared with the USIM side (Ue).
+  static std::uint64_t f_autn(std::uint64_t key, std::uint64_t rand);
+  static std::uint64_t f_res(std::uint64_t key, std::uint64_t rand);
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+  std::uint64_t auth_requests_served() const { return auth_served_; }
+
+ private:
+  struct Subscriber {
+    std::uint64_t key = 0;
+    std::uint32_t profile_id = 0;
+    std::uint32_t serving_mme = 0;
+  };
+
+  void handle_auth(NodeId from, const proto::AuthInfoRequest& req);
+  void handle_location(NodeId from, const proto::UpdateLocationRequest& req);
+
+  Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  std::unordered_map<proto::Imsi, Subscriber> subscribers_;
+  std::uint64_t rand_counter_ = 0x1234'5678;
+  std::uint64_t auth_served_ = 0;
+};
+
+}  // namespace scale::epc

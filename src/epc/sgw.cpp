@@ -1,0 +1,101 @@
+#include "epc/sgw.h"
+
+#include "common/logging.h"
+
+namespace scale::epc {
+
+Sgw::Sgw(Fabric& fabric, Config cfg)
+    : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      cpu_(fabric.engine()) {}
+
+Sgw::~Sgw() { fabric_.remove_endpoint(node_); }
+
+void Sgw::receive(NodeId from, const proto::Pdu& pdu) {
+  const auto* s11 = std::get_if<proto::S11Message>(&pdu);
+  if (s11 == nullptr) {
+    SCALE_WARN("S-GW received non-S11 PDU: " << proto::pdu_name(pdu));
+    return;
+  }
+  handle_s11(from, *s11);
+}
+
+void Sgw::handle_s11(NodeId from, const proto::S11Message& msg) {
+  std::visit(
+      [this, from](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, proto::CreateSessionRequest>) {
+          cpu_.execute(cfg_.session_service_time, [this, from, m]() {
+            const proto::Teid teid{next_teid_++};
+            sessions_[teid.raw] =
+                Session{m.imsi, m.mme_teid, from, 0, false};
+            teid_by_imsi_[m.imsi] = teid.raw;
+            proto::CreateSessionResponse resp;
+            resp.mme_teid = m.mme_teid;
+            resp.sgw_teid = teid;
+            fabric_.send(node_, from, proto::make_pdu(resp));
+          });
+        } else if constexpr (std::is_same_v<T, proto::ModifyBearerRequest>) {
+          cpu_.execute(cfg_.bearer_service_time, [this, from, m]() {
+            const auto it = sessions_.find(m.sgw_teid.raw);
+            if (it != sessions_.end()) {
+              it->second.enb_id = m.enb_id;
+              it->second.bearer_active = true;
+              it->second.mme_teid = m.mme_teid;
+            }
+            proto::ModifyBearerResponse resp;
+            resp.mme_teid = m.mme_teid;
+            fabric_.send(node_, from, proto::make_pdu(resp));
+          });
+        } else if constexpr (std::is_same_v<T,
+                                            proto::ReleaseAccessBearersRequest>) {
+          cpu_.execute(cfg_.bearer_service_time, [this, from, m]() {
+            const auto it = sessions_.find(m.sgw_teid.raw);
+            if (it != sessions_.end()) it->second.bearer_active = false;
+            proto::ReleaseAccessBearersResponse resp;
+            resp.mme_teid = m.mme_teid;
+            fabric_.send(node_, from, proto::make_pdu(resp));
+          });
+        } else if constexpr (std::is_same_v<T, proto::DeleteSessionRequest>) {
+          cpu_.execute(cfg_.session_service_time, [this, from, m]() {
+            const auto it = sessions_.find(m.sgw_teid.raw);
+            if (it != sessions_.end()) {
+              teid_by_imsi_.erase(it->second.imsi);
+              sessions_.erase(it);
+            }
+            proto::DeleteSessionResponse resp;
+            resp.mme_teid = m.mme_teid;
+            fabric_.send(node_, from, proto::make_pdu(resp));
+          });
+        } else if constexpr (std::is_same_v<T,
+                                            proto::DownlinkDataNotificationAck>) {
+          // Nothing further; paging is in flight on the MME side.
+        } else {
+          SCALE_WARN("S-GW: unexpected S11 message");
+        }
+      },
+      msg);
+}
+
+bool Sgw::inject_downlink_data(proto::Teid sgw_teid) {
+  const auto it = sessions_.find(sgw_teid.raw);
+  if (it == sessions_.end()) return false;
+  const Session& session = it->second;
+  if (session.bearer_active) return true;  // delivered directly; no paging
+  // Capture by value: the session map may rehash before the CPU slice runs.
+  const proto::Teid mme_teid = session.mme_teid;
+  const NodeId control_node = session.control_node;
+  cpu_.execute(cfg_.bearer_service_time, [this, mme_teid, control_node]() {
+    proto::DownlinkDataNotification ddn;
+    ddn.mme_teid = mme_teid;
+    ++ddn_sent_;
+    fabric_.send(node_, control_node, proto::make_pdu(ddn));
+  });
+  return true;
+}
+
+proto::Teid Sgw::teid_for(proto::Imsi imsi) const {
+  const auto it = teid_by_imsi_.find(imsi);
+  return it == teid_by_imsi_.end() ? proto::Teid{} : proto::Teid{it->second};
+}
+
+}  // namespace scale::epc

@@ -1,0 +1,64 @@
+// S-GW — Serving Gateway (§2): terminates S11 from the MME side and anchors
+// the per-device data path. The control-plane behaviours that matter here:
+// session create/modify/release/delete, and DownlinkDataNotification when a
+// downlink packet arrives for an Idle device (which triggers MME paging).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "epc/fabric.h"
+#include "sim/cpu.h"
+
+namespace scale::epc {
+
+class Sgw : public Endpoint {
+ public:
+  struct Config {
+    Duration session_service_time = Duration::us(100);
+    Duration bearer_service_time = Duration::us(70);
+  };
+
+  Sgw(Fabric& fabric, Config cfg);
+  explicit Sgw(Fabric& fabric) : Sgw(fabric, Config{}) {}
+  ~Sgw() override;
+
+  NodeId node() const { return node_; }
+  sim::CpuModel& cpu() { return cpu_; }
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+  /// Simulate arrival of a downlink packet for the device with this S-GW
+  /// TEID. If its bearer is released (device Idle) a DownlinkDataNotifica-
+  /// tion goes to the control node that created the session. Returns false
+  /// if the session is unknown.
+  bool inject_downlink_data(proto::Teid sgw_teid);
+
+  /// Find the S-GW TEID for an IMSI (test/bench convenience).
+  proto::Teid teid_for(proto::Imsi imsi) const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+  std::uint64_t ddn_sent() const { return ddn_sent_; }
+
+ private:
+  struct Session {
+    proto::Imsi imsi = 0;
+    proto::Teid mme_teid;
+    NodeId control_node = 0;  ///< who created the session (MME or MLB)
+    std::uint32_t enb_id = 0;
+    bool bearer_active = false;
+  };
+
+  void handle_s11(NodeId from, const proto::S11Message& msg);
+
+  Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  std::unordered_map<std::uint32_t, Session> sessions_;  // by sgw teid
+  std::unordered_map<proto::Imsi, std::uint32_t> teid_by_imsi_;
+  std::uint32_t next_teid_ = 1;
+  std::uint64_t ddn_sent_ = 0;
+};
+
+}  // namespace scale::epc

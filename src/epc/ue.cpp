@@ -1,0 +1,221 @@
+#include "epc/ue.h"
+
+#include "common/logging.h"
+#include "epc/hss.h"
+
+namespace scale::epc {
+
+Ue::Ue(sim::Engine& engine, EnodeB* serving, Config cfg)
+    : engine_(engine), enb_(serving), cfg_(cfg) {
+  SCALE_CHECK(serving != nullptr);
+  SCALE_CHECK(cfg_.imsi != 0);
+}
+
+Ue::~Ue() {
+  disarm_guard();
+  if (enb_ != nullptr) {
+    enb_->decamp(*this);
+    enb_->drop_connection(*this);
+  }
+}
+
+// ------------------------------------------------------------------ triggers
+
+bool Ue::attach() {
+  if (pending_) return false;
+  begin(proto::ProcedureType::kAttach);
+  send_attach_request(std::nullopt);
+  return true;
+}
+
+void Ue::send_attach_request(std::optional<NodeId> exclude_mme) {
+  proto::NasAttachRequest req;
+  req.imsi = cfg_.imsi;
+  req.old_guti = guti_;
+  req.tac = enb_->tac();
+  enb_->decamp(*this);
+  enb_->ue_initial_nas(*this, proto::NasMessage{req}, exclude_mme);
+}
+
+bool Ue::service_request() {
+  if (pending_ || !registered() || connected()) return false;
+  begin(proto::ProcedureType::kServiceRequest);
+  proto::NasServiceRequest req;
+  req.mme_code = guti_->mme_code;
+  req.m_tmsi = guti_->m_tmsi;
+  req.short_mac = static_cast<std::uint16_t>(cfg_.secret_key & 0xFFFF);
+  enb_->decamp(*this);
+  enb_->ue_initial_nas(*this, proto::NasMessage{req});
+  return true;
+}
+
+bool Ue::tracking_area_update() {
+  if (pending_ || !registered() || connected()) return false;
+  begin(proto::ProcedureType::kTrackingAreaUpdate);
+  proto::NasTauRequest req;
+  req.guti = *guti_;
+  req.tac = enb_->tac();
+  enb_->ue_initial_nas(*this, proto::NasMessage{req});
+  return true;
+}
+
+bool Ue::handover(EnodeB& target) {
+  if (pending_ || !registered() || !connected() || &target == enb_)
+    return false;
+  begin(proto::ProcedureType::kHandover);
+  EnodeB* source = enb_;
+  source->drop_connection(*this);
+  enb_ = &target;
+  target.ue_arrive_handover(*this);
+  return true;
+}
+
+bool Ue::detach() {
+  if (pending_ || !registered()) return false;
+  begin(proto::ProcedureType::kDetach);
+  proto::NasDetachRequest req;
+  req.guti = *guti_;
+  enb_->decamp(*this);
+  if (connected()) {
+    enb_->ue_uplink_nas(*this, proto::NasMessage{req});
+  } else {
+    enb_->ue_initial_nas(*this, proto::NasMessage{req});
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- NAS input
+
+void Ue::deliver_nas(const proto::NasMessage& nas) {
+  std::visit(
+      [this](const auto& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, proto::NasAuthenticationRequest>) {
+          // USIM side of EPS-AKA: same f_res as the HSS.
+          proto::NasAuthenticationResponse resp;
+          resp.res = Hss::f_res(cfg_.secret_key, msg.rand);
+          enb_->ue_uplink_nas(*this, proto::NasMessage{resp});
+        } else if constexpr (std::is_same_v<T, proto::NasSecurityModeCommand>) {
+          enb_->ue_uplink_nas(*this,
+                              proto::NasMessage{proto::NasSecurityModeComplete{}});
+        } else if constexpr (std::is_same_v<T, proto::NasAttachAccept>) {
+          guti_ = msg.guti;
+          emm_ = EmmState::kRegistered;
+          ecm_ = EcmState::kConnected;
+          enb_->ue_uplink_nas(*this,
+                              proto::NasMessage{proto::NasAttachComplete{}});
+          complete(proto::ProcedureType::kAttach);
+        } else if constexpr (std::is_same_v<T, proto::NasServiceAccept>) {
+          ecm_ = EcmState::kConnected;
+          complete(proto::ProcedureType::kServiceRequest);
+        } else if constexpr (std::is_same_v<T, proto::NasServiceReject>) {
+          // Context lost at the network: fall back to Deregistered; the
+          // workload decides whether to re-attach.
+          ecm_ = EcmState::kIdle;
+          emm_ = EmmState::kDeregistered;
+          fail(proto::ProcedureType::kServiceRequest);
+        } else if constexpr (std::is_same_v<T, proto::NasTauAccept>) {
+          if (msg.new_guti) {
+            enb_->decamp(*this);
+            guti_ = msg.new_guti;
+          }
+          enb_->camp(*this);
+          complete(proto::ProcedureType::kTrackingAreaUpdate);
+        } else if constexpr (std::is_same_v<T, proto::NasDetachAccept>) {
+          enb_->decamp(*this);
+          emm_ = EmmState::kDeregistered;
+          ecm_ = EcmState::kIdle;
+          guti_.reset();
+          complete(proto::ProcedureType::kDetach);
+        } else {
+          SCALE_DEBUG("UE ignoring NAS message");
+        }
+      },
+      nas);
+}
+
+void Ue::on_paging() {
+  if (!registered() || connected() || pending_) return;
+  service_request();
+}
+
+void Ue::on_release(proto::ReleaseCause cause, NodeId releasing_mme) {
+  switch (cause) {
+    case proto::ReleaseCause::kUserInactivity:
+      ecm_ = EcmState::kIdle;
+      enb_->camp(*this);
+      break;
+    case proto::ReleaseCause::kLoadBalancingTauRequired: {
+      // Reactive 3GPP rebalancing (§3.1-2): the device re-initiates its
+      // control connection; the eNodeB must pick a different MME. If a
+      // procedure was in flight, the measured delay keeps accumulating —
+      // the device experiences the whole redirect.
+      ecm_ = EcmState::kIdle;
+      SCALE_DEBUG("UE " << cfg_.imsi << " rebalance re-attach, excluding "
+                        << releasing_mme);
+      if (!pending_) begin(proto::ProcedureType::kAttach);
+      send_attach_request(releasing_mme);
+      break;
+    }
+    case proto::ReleaseCause::kHandover:
+      // Source-side cleanup; the UE already moved to the target cell.
+      break;
+    case proto::ReleaseCause::kDetach:
+      ecm_ = EcmState::kIdle;
+      break;
+  }
+}
+
+void Ue::on_connection_established() {
+  ecm_ = EcmState::kConnected;
+  if (pending_ == proto::ProcedureType::kHandover)
+    complete(proto::ProcedureType::kHandover);
+}
+
+// ------------------------------------------------------------- house-keeping
+
+void Ue::begin(proto::ProcedureType p) {
+  pending_ = p;
+  pending_start_ = engine_.now();
+  arm_guard();
+}
+
+void Ue::complete(proto::ProcedureType p) {
+  if (pending_ != p) return;  // stale / duplicate accept
+  disarm_guard();
+  const Duration delay = engine_.now() - pending_start_;
+  pending_.reset();
+  ++completed_[static_cast<int>(p)];
+  if (on_complete_) on_complete_(*this, p, delay);
+}
+
+void Ue::fail(proto::ProcedureType p) {
+  if (!pending_) return;
+  disarm_guard();
+  pending_.reset();
+  ++failures_;
+  if (on_failure_) on_failure_(*this, p);
+}
+
+void Ue::arm_guard() {
+  disarm_guard();
+  if (cfg_.guard_timeout <= Duration::zero()) return;
+  guard_armed_ = true;
+  guard_event_ = engine_.after(cfg_.guard_timeout, [this]() {
+    guard_armed_ = false;
+    if (pending_) {
+      SCALE_DEBUG("UE " << cfg_.imsi << " guard timeout on procedure "
+                        << proto::procedure_name(*pending_));
+      fail(*pending_);
+    }
+  });
+}
+
+void Ue::disarm_guard() {
+  if (guard_armed_) {
+    engine_.cancel(guard_event_);
+    guard_armed_ = false;
+  }
+}
+
+}  // namespace scale::epc

@@ -1,0 +1,140 @@
+#include "epc/ue_context.h"
+
+#include "common/check.h"
+
+namespace scale::epc {
+
+const char* context_role_name(ContextRole role) {
+  switch (role) {
+    case ContextRole::kMaster: return "master";
+    case ContextRole::kReplica: return "replica";
+    case ContextRole::kExternal: return "external";
+  }
+  return "?";
+}
+
+UeContext& UeContextStore::insert(proto::UeContextRecord rec,
+                                  ContextRole role) {
+  const std::uint64_t key = rec.guti.key();
+  SCALE_CHECK_MSG(!by_key_.count(key), "duplicate context " + rec.guti.str());
+  auto ctx = std::make_unique<UeContext>();
+  ctx->rec = std::move(rec);
+  ctx->role = role;
+  UeContext& ref = *ctx;
+  by_key_.emplace(key, std::move(ctx));
+  if (ref.rec.imsi != 0) by_imsi_[ref.rec.imsi] = &ref;
+  if (ref.rec.mme_teid.valid()) by_teid_[ref.rec.mme_teid.raw] = &ref;
+  if (ref.rec.mme_ue_id.raw != 0) by_mme_ue_id_[ref.rec.mme_ue_id.raw] = &ref;
+  total_bytes_ += ref.rec.state_bytes;
+  role_bytes_[static_cast<int>(role)] += ref.rec.state_bytes;
+  role_count_[static_cast<int>(role)] += 1;
+  return ref;
+}
+
+UeContext* UeContextStore::find(std::uint64_t guti_key) {
+  const auto it = by_key_.find(guti_key);
+  return it == by_key_.end() ? nullptr : it->second.get();
+}
+
+const UeContext* UeContextStore::find(std::uint64_t guti_key) const {
+  const auto it = by_key_.find(guti_key);
+  return it == by_key_.end() ? nullptr : it->second.get();
+}
+
+UeContext* UeContextStore::find_by_imsi(proto::Imsi imsi) {
+  const auto it = by_imsi_.find(imsi);
+  return it == by_imsi_.end() ? nullptr : it->second;
+}
+
+UeContext* UeContextStore::find_by_teid(proto::Teid mme_teid) {
+  const auto it = by_teid_.find(mme_teid.raw);
+  return it == by_teid_.end() ? nullptr : it->second;
+}
+
+UeContext* UeContextStore::find_by_mme_ue_id(proto::MmeUeId id) {
+  const auto it = by_mme_ue_id_.find(id.raw);
+  return it == by_mme_ue_id_.end() ? nullptr : it->second;
+}
+
+void UeContextStore::index_teid(UeContext& ctx) {
+  SCALE_CHECK(ctx.rec.mme_teid.valid());
+  by_teid_[ctx.rec.mme_teid.raw] = &ctx;
+}
+
+void UeContextStore::index_mme_ue_id(UeContext& ctx) {
+  SCALE_CHECK(ctx.rec.mme_ue_id.raw != 0);
+  by_mme_ue_id_[ctx.rec.mme_ue_id.raw] = &ctx;
+}
+
+void UeContextStore::set_role(UeContext& ctx, ContextRole role) {
+  if (ctx.role == role) return;
+  role_bytes_[static_cast<int>(ctx.role)] -= ctx.rec.state_bytes;
+  role_count_[static_cast<int>(ctx.role)] -= 1;
+  ctx.role = role;
+  role_bytes_[static_cast<int>(role)] += ctx.rec.state_bytes;
+  role_count_[static_cast<int>(role)] += 1;
+}
+
+UeContext& UeContextStore::rekey(std::uint64_t old_key,
+                                 const proto::Guti& new_guti) {
+  const auto it = by_key_.find(old_key);
+  SCALE_CHECK_MSG(it != by_key_.end(), "rekey of unknown context");
+  SCALE_CHECK_MSG(!by_key_.count(new_guti.key()), "rekey target collision");
+  std::unique_ptr<UeContext> ctx = std::move(it->second);
+  by_key_.erase(it);
+  ctx->rec.guti = new_guti;
+  UeContext& ref = *ctx;
+  by_key_.emplace(new_guti.key(), std::move(ctx));
+  return ref;
+}
+
+void UeContextStore::erase(std::uint64_t guti_key) {
+  const auto it = by_key_.find(guti_key);
+  SCALE_CHECK_MSG(it != by_key_.end(), "erase of unknown context");
+  UeContext& ctx = *it->second;
+  if (ctx.rec.imsi != 0) {
+    const auto imsi_it = by_imsi_.find(ctx.rec.imsi);
+    if (imsi_it != by_imsi_.end() && imsi_it->second == &ctx)
+      by_imsi_.erase(imsi_it);
+  }
+  if (ctx.rec.mme_teid.valid()) {
+    const auto teid_it = by_teid_.find(ctx.rec.mme_teid.raw);
+    if (teid_it != by_teid_.end() && teid_it->second == &ctx)
+      by_teid_.erase(teid_it);
+  }
+  if (ctx.rec.mme_ue_id.raw != 0) {
+    const auto id_it = by_mme_ue_id_.find(ctx.rec.mme_ue_id.raw);
+    if (id_it != by_mme_ue_id_.end() && id_it->second == &ctx)
+      by_mme_ue_id_.erase(id_it);
+  }
+  total_bytes_ -= ctx.rec.state_bytes;
+  role_bytes_[static_cast<int>(ctx.role)] -= ctx.rec.state_bytes;
+  role_count_[static_cast<int>(ctx.role)] -= 1;
+  by_key_.erase(it);
+}
+
+bool UeContextStore::contains(std::uint64_t guti_key) const {
+  return by_key_.count(guti_key) > 0;
+}
+
+std::size_t UeContextStore::count(ContextRole role) const {
+  return role_count_[static_cast<int>(role)];
+}
+
+std::uint64_t UeContextStore::bytes(ContextRole role) const {
+  return role_bytes_[static_cast<int>(role)];
+}
+
+void UeContextStore::for_each(const std::function<void(UeContext&)>& fn) {
+  for (auto& [key, ctx] : by_key_) fn(*ctx);
+}
+
+std::vector<std::uint64_t> UeContextStore::keys_if(
+    const std::function<bool(const UeContext&)>& pred) const {
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, ctx] : by_key_)
+    if (pred(*ctx)) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace scale::epc

@@ -1,0 +1,102 @@
+// Per-device MME state and the store that holds it.
+//
+// The store tracks three replica roles (§4.3): Master (the hash-ring owner
+// within the home DC), Replica (ring-neighbor copy used for fine-grained
+// load balancing), and External (a geo replica held for a *remote* DC).
+// Memory accounting is explicit because VM provisioning trades compute
+// against exactly this footprint (Eq. 1: V_S = ⌈β·R·K/S⌉).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "proto/cluster.h"
+#include "sim/engine.h"
+
+namespace scale::epc {
+
+enum class ContextRole : std::uint8_t {
+  kMaster = 0,
+  kReplica = 1,
+  kExternal = 2,  ///< geo replica owned by a remote DC
+};
+
+const char* context_role_name(ContextRole role);
+
+/// One device's state as held by an MME/MMP VM: the serializable record
+/// plus runtime-only bookkeeping (timers, replica sync status).
+struct UeContext {
+  proto::UeContextRecord rec;
+  ContextRole role = ContextRole::kMaster;
+
+  // Runtime-only fields (never serialized; reset on transfer):
+  Time last_activity = Time::zero();
+  sim::EventId inactivity_timer = 0;
+  bool inactivity_timer_armed = false;
+  bool replica_dirty = false;  ///< replica copy is stale vs this copy
+  std::uint32_t serving_mmp = 0;  ///< VM currently serving its Active run
+  std::uint32_t epoch_hits = 0;   ///< requests this epoch (feeds the wᵢ EWMA)
+
+  std::uint64_t key() const { return rec.guti.key(); }
+};
+
+/// Container for UeContexts with secondary indices (IMSI, MME TEID,
+/// MME-UE-S1AP id) and byte-level memory accounting.
+class UeContextStore {
+ public:
+  /// Inserts a context; returns a stable reference. Precondition: no
+  /// context with the same GUTI key exists.
+  UeContext& insert(proto::UeContextRecord rec, ContextRole role);
+
+  /// Lookup by GUTI key; nullptr if absent.
+  UeContext* find(std::uint64_t guti_key);
+  const UeContext* find(std::uint64_t guti_key) const;
+
+  UeContext* find_by_imsi(proto::Imsi imsi);
+  UeContext* find_by_teid(proto::Teid mme_teid);
+  UeContext* find_by_mme_ue_id(proto::MmeUeId id);
+
+  /// Re-index a context after the MME assigns identifiers mid-procedure.
+  void index_teid(UeContext& ctx);
+  void index_mme_ue_id(UeContext& ctx);
+
+  /// Change a context's replica role, keeping accounting consistent (ring
+  /// membership changes promote replicas to masters and vice versa).
+  void set_role(UeContext& ctx, ContextRole role);
+
+  /// Re-key a context under a new GUTI (a classic MME assigns a fresh GUTI
+  /// — with its own MME code — when it adopts a reassigned device).
+  /// Precondition: old key present, new key absent. Returns the context.
+  UeContext& rekey(std::uint64_t old_key, const proto::Guti& new_guti);
+
+  /// Removes a context. Precondition: present.
+  void erase(std::uint64_t guti_key);
+  bool contains(std::uint64_t guti_key) const;
+
+  std::size_t size() const { return by_key_.size(); }
+  std::size_t count(ContextRole role) const;
+  std::uint64_t bytes(ContextRole role) const;
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Visit every context (mutable); insertion/erasure during iteration is
+  /// not allowed.
+  void for_each(const std::function<void(UeContext&)>& fn);
+  /// Collect the GUTI keys of contexts matching a predicate.
+  std::vector<std::uint64_t> keys_if(
+      const std::function<bool(const UeContext&)>& pred) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::unique_ptr<UeContext>> by_key_;
+  std::unordered_map<std::uint64_t, UeContext*> by_imsi_;
+  std::unordered_map<std::uint32_t, UeContext*> by_teid_;
+  std::unordered_map<std::uint32_t, UeContext*> by_mme_ue_id_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t role_bytes_[3] = {0, 0, 0};
+  std::size_t role_count_[3] = {0, 0, 0};
+};
+
+}  // namespace scale::epc

@@ -1,0 +1,90 @@
+// Token-based consistent hashing (Karger et al.) tailored for the MMP
+// cluster, as described in §4.3 of the paper:
+//
+//  * each MMP VM is represented by `tokens_per_node` pseudo-random tokens on
+//    a fixed circular 64-bit ring;
+//  * a device's GUTI hashes (MD5) to a ring position; the first token
+//    clockwise identifies the *master* MMP;
+//  * the next distinct VMs clockwise are the replica targets, so the states
+//    of one VM's devices spread across many neighbors (avoids the pairwise
+//    hot-spot the SIMPLE baseline suffers — Fig. 9);
+//  * adding/removing a VM only remaps the arcs adjacent to its tokens.
+//
+// Setting tokens_per_node = 1 yields the "basic consistent hashing" baseline
+// of Fig. 10(a).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+
+namespace scale::hash {
+
+/// Identifier of a node (an MMP VM) participating in the ring.
+using RingNodeId = std::uint32_t;
+
+class ConsistentHashRing {
+ public:
+  struct Config {
+    /// Virtual tokens per node; 1 = classic token-less consistent hashing.
+    unsigned tokens_per_node = 5;
+    /// Use MD5 (paper-faithful) for token and key positions; false selects
+    /// FNV-1a for speed in very large simulations. Both are deterministic.
+    bool use_md5 = true;
+  };
+
+  ConsistentHashRing() : ConsistentHashRing(Config{}) {}
+  explicit ConsistentHashRing(Config cfg);
+
+  /// Adds a node; its tokens are deterministic functions of (node, index).
+  /// Precondition: the node is not already present.
+  void add_node(RingNodeId node);
+
+  /// Removes a node and all its tokens. Precondition: node is present.
+  void remove_node(RingNodeId node);
+
+  bool contains(RingNodeId node) const;
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t token_count() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  std::vector<RingNodeId> nodes() const;
+  const Config& config() const { return cfg_; }
+
+  /// Ring position of an arbitrary 64-bit key (e.g. a GUTI's M-TMSI).
+  std::uint64_t position_of_key(std::uint64_t key) const;
+
+  /// Master node for a key: first token clockwise from the key's position.
+  /// Precondition: ring not empty.
+  RingNodeId owner(std::uint64_t key) const;
+
+  /// Master followed by the next n-1 *distinct* nodes clockwise — the
+  /// replica preference list. Returns fewer entries if the ring has fewer
+  /// than n nodes. Precondition: ring not empty.
+  std::vector<RingNodeId> preference_list(std::uint64_t key,
+                                          std::size_t n) const;
+
+  /// The single replica target (second entry of the preference list), or
+  /// nullopt when the ring has only one node.
+  std::optional<RingNodeId> replica_of(std::uint64_t key) const;
+
+  /// All (position, node) tokens in ring order — for tests and debugging.
+  const std::vector<std::pair<std::uint64_t, RingNodeId>>& tokens() const {
+    return ring_;
+  }
+
+  /// Fraction of the key space owned by `node` (sum of its arcs). Useful
+  /// for balance tests; O(tokens).
+  double ownership_fraction(RingNodeId node) const;
+
+ private:
+  std::uint64_t token_position(RingNodeId node, unsigned index) const;
+  std::size_t first_token_at_or_after(std::uint64_t pos) const;
+
+  Config cfg_;
+  std::vector<std::pair<std::uint64_t, RingNodeId>> ring_;  // sorted by pos
+  std::vector<RingNodeId> nodes_;                           // sorted
+};
+
+}  // namespace scale::hash

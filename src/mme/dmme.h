@@ -1,0 +1,128 @@
+// dMME — the alternate split-MME design of An et al. ("DMME: A Distributed
+// LTE Mobility Management Entity", Bell Labs TR 2012), which §6 of the
+// SCALE paper names as the design choice worth comparing against:
+//
+//   stateless processing nodes + one centralized state store. Any node can
+//   serve any device, but every Idle→Active transaction pays a fetch from
+//   (and a write-back to) the store — CPU there plus a round trip — where
+//   SCALE's replicas keep state co-located with compute.
+//
+// The front-end (DmmeLb) needs no per-device table (any node serves), like
+// SCALE's MLB; the cost moved into the state-store round trips instead.
+// bench/ablation_dmme quantifies the trade.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "mme/cluster_vm.h"
+
+namespace scale::mme {
+
+/// Centralized UE-state database: serves fetches, absorbs write-backs.
+class DmmeStateStore : public epc::Endpoint {
+ public:
+  struct Config {
+    Duration fetch_cost = Duration::us(120);
+    Duration write_cost = Duration::us(150);
+    double cpu_speed = 1.0;
+  };
+
+  DmmeStateStore(epc::Fabric& fabric, Config cfg);
+  explicit DmmeStateStore(epc::Fabric& fabric)
+      : DmmeStateStore(fabric, Config{}) {}
+  ~DmmeStateStore() override;
+
+  NodeId node() const { return node_; }
+  sim::CpuModel& cpu() { return cpu_; }
+  std::size_t size() const { return store_.size(); }
+  std::uint64_t fetches() const { return fetches_; }
+  std::uint64_t writes() const { return writes_; }
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+ private:
+  epc::Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  epc::UeContextStore store_;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// A stateless dMME processing node: fetches the device context from the
+/// store before running a procedure, writes it back afterwards, and evicts
+/// its local copy when the device returns to Idle.
+class DmmeNode final : public ClusterVm {
+ public:
+  struct Config {
+    ClusterVm::Config base;
+    NodeId store = 0;
+  };
+
+  DmmeNode(epc::Fabric& fabric, Config cfg);
+
+  std::uint64_t fetches_issued() const { return fetches_issued_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+
+ protected:
+  void handle_forward(NodeId from, const proto::ClusterForward& fwd) override;
+  void handle_other_cluster(NodeId from,
+                            const proto::ClusterMessage& msg) override;
+  void on_procedure_done(UeContext& ctx, proto::ProcedureType type) override;
+  void on_idle_transition(UeContext& ctx) override;
+  void on_detach(UeContext& ctx) override;
+
+ private:
+  void write_back(const UeContext& ctx);
+
+  NodeId store_;
+  /// Requests parked while their context fetch is in flight.
+  std::unordered_map<std::uint64_t, std::deque<proto::ClusterForward>>
+      pending_;
+  std::uint64_t fetches_issued_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+/// Front-end for a dMME pool: round-robin across processing nodes for
+/// Idle→Active requests (any node can serve), VM-code routing for
+/// Active-mode traffic, no per-device table.
+class DmmeLb : public epc::Endpoint {
+ public:
+  struct Config {
+    std::uint8_t mme_code = 1;
+    std::uint16_t plmn = 1;
+    std::uint16_t mme_group = 1;
+    Duration route_cost = Duration::us(25);
+    Duration relay_cost = Duration::us(20);
+    double cpu_speed = 1.0;
+  };
+
+  DmmeLb(epc::Fabric& fabric, Config cfg);
+  ~DmmeLb() override;
+
+  NodeId node() const { return node_; }
+  std::uint8_t mme_code() const { return cfg_.mme_code; }
+  sim::CpuModel& cpu() { return cpu_; }
+
+  void add_node(DmmeNode& node);
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+ private:
+  proto::Guti allocate_guti();
+  NodeId by_code(std::uint8_t code) const;
+  void forward(NodeId target, NodeId origin, const proto::Guti& guti,
+               proto::Pdu inner);
+
+  epc::Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  std::vector<std::pair<NodeId, std::uint8_t>> nodes_;  // (node, code)
+  std::size_t next_rr_ = 0;
+  std::uint32_t next_tmsi_ = 1;
+};
+
+}  // namespace scale::mme

@@ -1,0 +1,187 @@
+// MmeApp — the MME "application": per-device procedure state machines over
+// the UeContextStore. This is the protocol brain shared by
+//
+//   * mme::MmeNode         — a classic standalone 3GPP MME (baseline),
+//   * mme::SimpleVm        — a VM of the SIMPLE virtual-MME baseline,
+//   * core::MmpNode        — a SCALE MMP VM.
+//
+// The host injects I/O and policy through MmeAppHooks; MmeApp never touches
+// the fabric directly, so the same FSMs run identically whether replies go
+// straight to the eNodeB or are tunneled through an MLB.
+//
+// Every inbound message costs CPU (ServiceProfile) on the host-provided
+// CpuModel, so overload manifests as queueing delay exactly as on real
+// hardware (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "epc/ue_context.h"
+#include "mme/service_profile.h"
+#include "proto/pdu.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+namespace scale::mme {
+
+using epc::ContextRole;
+using epc::UeContext;
+using epc::UeContextStore;
+using sim::NodeId;
+
+struct MmeAppHooks {
+  /// Send an S1AP message to an eNodeB (required).
+  std::function<void(NodeId enb, proto::S1apMessage)> to_enb;
+  /// Send an S11 message to the device's S-GW (required). The context is
+  /// passed so hosts can target the device's *home* S-GW when processing a
+  /// geo-replicated device from another DC (rec.sgw_node).
+  std::function<void(const UeContext&, proto::S11Message)> to_sgw;
+  /// Send an S6 message to the HSS (required).
+  std::function<void(proto::S6Message)> to_hss;
+  /// eNodeBs to page for a tracking area (optional; paging skipped if
+  /// unset).
+  std::function<std::vector<NodeId>(proto::Tac)> paging_enbs;
+  /// Admission gate, called before processing an InitialUeMessage. Return
+  /// false if the host consumed the request (e.g. 3GPP overload redirect).
+  std::function<bool(NodeId enb, const proto::InitialUeMessage&,
+                     UeContext* existing)>
+      admission;
+  /// Called after a procedure completes on a context (replication point —
+  /// §5: "the master MMP replicates the state of a device after it
+  /// processes its initial attach request").
+  std::function<void(UeContext&, proto::ProcedureType)> after_procedure;
+  /// Called when a device transitions Active → Idle (bulk replica sync
+  /// point, E2).
+  std::function<void(UeContext&)> on_idle;
+  /// Called just before a detached context is erased.
+  std::function<void(UeContext&)> before_detach;
+};
+
+class MmeApp {
+ public:
+  struct Config {
+    std::uint8_t mme_code = 1;  ///< logical MME id inside assigned GUTIs
+    std::uint8_t vm_code = 1;   ///< VM id embedded in MmeUeId/Teid (§5)
+    std::uint16_t plmn = 1;
+    std::uint16_t mme_group = 1;
+    ServiceProfile profile;
+    /// Classic MMEs assign GUTIs themselves; SCALE MMPs receive them from
+    /// the MLB (ClusterForward.guti).
+    bool assign_guti_locally = true;
+    /// Echo tag for S6 answers (Diameter hop-by-hop id); hosts set this to
+    /// their NodeId so proxies can route answers back statelessly.
+    std::uint32_t hop_ref = 0;
+    std::uint32_t home_dc = 0;
+    std::uint32_t sgw_node = 0;  ///< recorded into contexts for geo routing
+    std::uint32_t default_state_bytes = 2048;
+    /// When false the inactivity timer never fires (workloads that manage
+    /// Idle transitions explicitly).
+    bool enable_inactivity_timer = true;
+  };
+
+  struct Counters {
+    std::uint64_t procedures[6] = {0, 0, 0, 0, 0, 0};
+    std::uint64_t auth_failures = 0;
+    std::uint64_t unknown_context = 0;
+    std::uint64_t rejects_sent = 0;
+    std::uint64_t pagings_sent = 0;
+    std::uint64_t idle_transitions = 0;
+  };
+
+  MmeApp(sim::Engine& engine, sim::CpuModel& cpu, Config cfg,
+         MmeAppHooks hooks);
+
+  UeContextStore& store() { return store_; }
+  const UeContextStore& store() const { return store_; }
+  const Config& config() const { return cfg_; }
+  const Counters& counters() const { return counters_; }
+
+  // --- protocol entry points -------------------------------------------
+  /// `guti_hint`: the GUTI the MLB assigned/used for routing (SCALE), or
+  /// nullptr for classic operation.
+  void handle_s1ap(NodeId enb_node, const proto::S1apMessage& msg,
+                   const proto::Guti* guti_hint = nullptr);
+  void handle_s11(const proto::S11Message& msg);
+  void handle_s6(const proto::S6Message& msg);
+
+  // --- state administration (replication / transfer / migration) --------
+  /// Install a context owned elsewhere (replica, transfer, geo). Replaces
+  /// any existing copy with an older version.
+  UeContext* adopt(const proto::UeContextRecord& rec, ContextRole role);
+  /// Remove a context and any transaction on it (disarming timers).
+  void remove_context(std::uint64_t guti_key);
+  /// Fresh GUTI from this MME's identity space.
+  proto::Guti allocate_guti();
+  /// Reconstruct a GUTI from an S-TMSI (pool constants + code + M-TMSI).
+  proto::Guti guti_from_s_tmsi(std::uint8_t code, std::uint32_t m_tmsi) const;
+
+  /// True if a procedure transaction is in flight for this context.
+  bool has_transaction(std::uint64_t guti_key) const {
+    return txns_.count(guti_key) > 0;
+  }
+
+ private:
+  struct Txn {
+    proto::ProcedureType type = proto::ProcedureType::kAttach;
+    NodeId enb_node = 0;
+    proto::EnbUeId enb_ue_id = 0;
+    // handover:
+    NodeId old_enb_node = 0;
+    proto::EnbUeId old_enb_ue_id = 0;
+    // auth material in flight:
+    std::uint64_t xres = 0;
+    bool skip_auth = false;
+  };
+
+  // NAS-level initial handlers.
+  void start_attach(NodeId enb, const proto::InitialUeMessage& msg,
+                    const proto::NasAttachRequest& nas,
+                    const proto::Guti* guti_hint);
+  void start_service_request(NodeId enb, const proto::InitialUeMessage& msg,
+                             const proto::NasServiceRequest& nas,
+                             const proto::Guti* guti_hint = nullptr);
+  void start_tau(NodeId enb, const proto::InitialUeMessage& msg,
+                 const proto::NasTauRequest& nas);
+  void start_detach(NodeId enb, proto::EnbUeId enb_ue_id,
+                    const proto::NasDetachRequest& nas);
+  void handle_uplink_nas(NodeId enb, const proto::UplinkNasTransport& msg);
+  void handle_path_switch(NodeId enb, const proto::PathSwitchRequest& msg);
+
+  // Procedure continuation steps.
+  void attach_request_auth(std::uint64_t key);
+  void attach_create_session(std::uint64_t key);
+  void attach_finish(std::uint64_t key);
+  void service_request_finish(std::uint64_t key);
+  void handover_finish(std::uint64_t key, std::uint32_t new_enb_id);
+  void detach_finish(std::uint64_t key);
+
+  void send_downlink_nas(const Txn& txn, const UeContext& ctx,
+                         proto::NasMessage nas);
+  void send_reject(NodeId enb, proto::EnbUeId enb_ue_id, std::uint8_t cause);
+  void touch(UeContext& ctx);
+  void arm_inactivity(UeContext& ctx);
+  void disarm_inactivity(UeContext& ctx);
+  void inactivity_fired(std::uint64_t key);
+  void finish_procedure(std::uint64_t key, proto::ProcedureType type);
+  proto::MmeUeId next_mme_ue_id();
+  proto::Teid next_teid();
+  UeContext* ctx_of(std::uint64_t key) { return store_.find(key); }
+
+  sim::Engine& engine_;
+  sim::CpuModel& cpu_;
+  Config cfg_;
+  MmeAppHooks hooks_;
+  UeContextStore store_;
+  std::unordered_map<std::uint64_t, Txn> txns_;
+  Counters counters_;
+  std::uint32_t next_tmsi_ = 1;
+  std::uint32_t next_ue_seq_ = 1;
+  std::uint32_t next_teid_seq_ = 1;
+};
+
+}  // namespace scale::mme

@@ -1,0 +1,48 @@
+#include "mme/pool.h"
+
+namespace scale::mme {
+
+MmePool::MmePool(epc::Fabric& fabric, Config cfg)
+    : fabric_(fabric), cfg_(cfg), next_code_(cfg.first_mme_code) {
+  for (std::size_t i = 0; i < cfg_.initial_count; ++i)
+    add_mme(cfg_.node_template.weight);
+}
+
+MmeNode& MmePool::add_mme(double weight) {
+  MmeNode::Config node_cfg = cfg_.node_template;
+  node_cfg.app.mme_code = next_code_++;
+  node_cfg.weight = weight;
+  auto node = std::make_unique<MmeNode>(fabric_, node_cfg);
+  MmeNode& ref = *node;
+  ref.set_paging_enbs(
+      [this](proto::Tac tac) { return paging_targets(tac); });
+  // Mutual peering for reactive reassignment.
+  for (auto& existing : mmes_) {
+    existing->add_peer(&ref);
+    ref.add_peer(existing.get());
+  }
+  mmes_.push_back(std::move(node));
+  // Late joiners must be visible to already-connected eNodeBs (scale-out).
+  for (epc::EnodeB* enb : enbs_)
+    enb->add_mme(ref.node(), ref.mme_code(), weight);
+  return ref;
+}
+
+void MmePool::connect_enb(epc::EnodeB& enb) {
+  enbs_.push_back(&enb);
+  for (auto& node : mmes_)
+    enb.add_mme(node->node(), node->mme_code(), node->weight());
+}
+
+void MmePool::enable_overload_protection(double threshold) {
+  for (auto& node : mmes_) node->configure_overload(true, threshold);
+}
+
+std::vector<NodeId> MmePool::paging_targets(proto::Tac tac) const {
+  std::vector<NodeId> out;
+  for (const epc::EnodeB* enb : enbs_)
+    if (enb->tac() == tac) out.push_back(enb->node());
+  return out;
+}
+
+}  // namespace scale::mme

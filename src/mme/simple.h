@@ -1,0 +1,96 @@
+// SIMPLE — the virtual-MME baseline of experiment E3 (Fig. 9):
+// "a system that uniformly distributes the state of the devices across
+// existing VMs and additionally replicates the states of each VM to another
+// VM... representative of a few commercially available virtual MME
+// systems."
+//
+// Concretely:
+//   * the front-end keeps a PER-DEVICE routing table (the scalability
+//     liability SCALE avoids);
+//   * devices are assigned to VMs round-robin (uniform);
+//   * VM v's entire state is replicated to a single buddy VM (v+1 mod V),
+//     so when v overloads, ALL of its spillover lands on one neighbor —
+//     the hot-spot SCALE's token-spread replication dissolves.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mme/cluster_vm.h"
+
+namespace scale::mme {
+
+class SimpleVm final : public ClusterVm {
+ public:
+  using ClusterVm::ClusterVm;
+
+  /// The buddy VM receiving this VM's replicas.
+  void set_buddy(NodeId buddy) { buddy_ = buddy; }
+  NodeId buddy() const { return buddy_; }
+
+ protected:
+  void on_procedure_done(UeContext& ctx, proto::ProcedureType type) override;
+  void on_idle_transition(UeContext& ctx) override;
+  void on_detach(UeContext& ctx) override;
+
+ private:
+  NodeId buddy_ = 0;
+};
+
+class SimpleLb : public epc::Endpoint {
+ public:
+  struct Config {
+    std::uint8_t mme_code = 1;  ///< logical MME code exposed to eNodeBs
+    std::uint16_t plmn = 1;
+    std::uint16_t mme_group = 1;
+    Duration route_cost = Duration::us(30);
+    Duration relay_cost = Duration::us(20);
+    /// Primary VM utilization above which requests go to the buddy.
+    double overload_threshold = 0.9;
+    double cpu_speed = 1.0;
+  };
+
+  SimpleLb(epc::Fabric& fabric, Config cfg);
+  ~SimpleLb() override;
+
+  NodeId node() const { return node_; }
+  sim::CpuModel& cpu() { return cpu_; }
+  std::uint8_t mme_code() const { return cfg_.mme_code; }
+
+  /// Register a processing VM. Buddies are re-wired ring-style (v -> v+1).
+  void add_vm(SimpleVm& vm);
+
+  void receive(NodeId from, const proto::Pdu& pdu) override;
+
+  /// Size of the per-device routing table (the thing that grows with the
+  /// subscriber population).
+  std::size_t routing_table_size() const { return table_.size(); }
+
+ private:
+  struct VmEntry {
+    SimpleVm* vm = nullptr;
+    NodeId node = 0;
+    std::uint8_t code = 0;
+    double load = 0.0;
+  };
+
+  proto::Guti allocate_guti();
+  std::size_t pick_vm_for_new_device();
+  VmEntry* by_code(std::uint8_t code);
+  VmEntry* by_node(NodeId node);
+  void route_initial(NodeId from, const proto::InitialUeMessage& msg);
+  void forward_to(std::size_t vm_index, NodeId origin,
+                  const proto::Guti& guti, proto::Pdu inner);
+
+  epc::Fabric& fabric_;
+  Config cfg_;
+  NodeId node_;
+  sim::CpuModel cpu_;
+  std::vector<VmEntry> vms_;
+  std::unordered_map<std::uint64_t, std::size_t> table_;  // guti -> vm index
+  std::size_t next_rr_ = 0;
+  std::uint32_t next_tmsi_ = 1;
+};
+
+}  // namespace scale::mme

@@ -1,0 +1,81 @@
+// Bounds-checked binary readers/writers for the wire codecs.
+//
+// All multi-byte integers are big-endian (network order), as on the real
+// S1AP/GTP-C wires. Truncated or trailing input raises CodecError — the MLB
+// must never crash on a malformed PDU.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scale::proto {
+
+/// Raised on any decode violation (truncation, bad tag, range error).
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void boolean(bool v);
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u16) string.
+  void str(std::string_view s);
+
+  template <typename T>
+  void optional(const std::optional<T>& v, void (ByteWriter::*put)(T)) {
+    boolean(v.has_value());
+    if (v) (this->*put)(*v);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  bool boolean();
+  std::vector<std::uint8_t> bytes(std::size_t n);
+  std::string str();
+
+  template <typename T>
+  std::optional<T> optional(T (ByteReader::*get)()) {
+    if (!boolean()) return std::nullopt;
+    return (this->*get)();
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+  /// Throws CodecError unless the whole buffer was consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace scale::proto

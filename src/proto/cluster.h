@@ -1,0 +1,260 @@
+// Cluster-internal messages — everything that flows on SCALE's private
+// interfaces (§5): MLB → MMP request forwarding ("SCTP connections using an
+// interface similar to S1AP"), MMP ↔ MMP state replication and transfer,
+// load/ring metadata on the management channel, and the inter-DC
+// geo-multiplexing protocol of §4.5.2.
+//
+// The 3GPP-pool and SIMPLE baselines reuse StateTransfer/LoadReport so the
+// signaling-overhead comparison (Fig. 2(c), Fig. 8(b,c)) is apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "proto/buffer.h"
+#include "proto/types.h"
+
+namespace scale::proto {
+
+struct PduBox;  // defined in pdu.h (holds a full Pdu; breaks the cycle)
+using PduRef = std::shared_ptr<const PduBox>;
+
+/// Serializable snapshot of one device's MME state — what actually moves
+/// when SCALE replicates or a baseline reassigns. §2 lists the real
+/// contents (timers, crypto keys, data-path parameters, RRM config, CDRs,
+/// location); we carry the fields the procedures need plus a nominal size.
+struct UeContextRecord {
+  Imsi imsi = 0;
+  Guti guti;
+  bool active = false;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  Teid sgw_teid;
+  Teid mme_teid;
+  Tac tac = 0;
+  std::uint64_t kasme = 0;        ///< NAS security context
+  double access_freq = 0.0;       ///< wᵢ — moving-average access frequency
+  std::uint32_t version = 0;      ///< replica-consistency sequence number
+  std::uint32_t master_mmp = 0;   ///< device-to-MMP mapping (§4.1)
+  std::uint32_t home_dc = 0;
+  std::int32_t external_dc = -1;  ///< remote DC holding a geo replica; -1 none
+  std::uint32_t sgw_node = 0;     ///< home S-GW (geo processing targets it)
+  std::uint32_t state_bytes = 2048;  ///< nominal footprint for memory budget
+
+  void encode(ByteWriter& w) const;
+  static UeContextRecord decode(ByteReader& r);
+  bool operator==(const UeContextRecord&) const = default;
+};
+
+enum class ClusterType : std::uint8_t {
+  kForward = 1,
+  kReply = 2,
+  kReplicaPush = 3,
+  kReplicaAck = 4,
+  kReplicaDelete = 5,
+  kStateTransfer = 6,
+  kStateTransferAck = 7,
+  kLoadReport = 8,
+  kRingUpdate = 9,
+  kGeoBudgetGossip = 10,
+  kGeoForward = 11,
+  kGeoReject = 12,
+  kGeoEvictRequest = 13,
+  kStateFetch = 14,
+  kStateFetchResp = 15,
+};
+
+/// MLB → MMP: a standard-interface PDU forwarded into the cluster. `origin`
+/// is the external node (eNodeB or S-GW) the reply must reach. `guti` is the
+/// routing key the MLB used — for an unregistered device this carries the
+/// GUTI the MLB just allocated (§4.3.1: "the MLB first assigns it a GUTI
+/// before routing its request").
+struct ClusterForward {
+  static constexpr ClusterType kType = ClusterType::kForward;
+  std::uint32_t origin = 0;
+  Guti guti;
+  /// Loop guard: set when a geo offload bounced back — the receiving MMP
+  /// must process locally rather than re-offload.
+  bool no_offload = false;
+  PduRef inner;
+
+  void encode(ByteWriter& w) const;
+  static ClusterForward decode(ByteReader& r);
+};
+
+/// MMP → MLB: a PDU to relay out of a standard interface to `target`.
+struct ClusterReply {
+  static constexpr ClusterType kType = ClusterType::kReply;
+  std::uint32_t target = 0;
+  PduRef inner;
+
+  void encode(ByteWriter& w) const;
+  static ClusterReply decode(ByteReader& r);
+};
+
+/// Master MMP → replica MMP (or → remote MLB when geo=true): asynchronous
+/// state replication (§4.3.2; §5 "the master MMP replicates the state of a
+/// device after it processes its initial attach request").
+struct ReplicaPush {
+  static constexpr ClusterType kType = ClusterType::kReplicaPush;
+  UeContextRecord rec;
+  bool geo = false;
+
+  void encode(ByteWriter& w) const;
+  static ReplicaPush decode(ByteReader& r);
+};
+
+/// Replica → master: synchronization acknowledgement.
+struct ReplicaAck {
+  static constexpr ClusterType kType = ClusterType::kReplicaAck;
+  Guti guti;
+  std::uint32_t version = 0;
+  std::uint32_t holder_dc = 0;
+
+  void encode(ByteWriter& w) const;
+  static ReplicaAck decode(ByteReader& r);
+};
+
+/// Remove a replica (access-aware down-replication or geo eviction).
+struct ReplicaDelete {
+  static constexpr ClusterType kType = ClusterType::kReplicaDelete;
+  Guti guti;
+
+  void encode(ByteWriter& w) const;
+  static ReplicaDelete decode(ByteReader& r);
+};
+
+/// Full ownership hand-off of a device's state: ring-membership migration in
+/// SCALE, reactive overload reassignment in the 3GPP baseline (§3.1-2 "mes-
+/// sages are exchanged between the MMEs to transfer the state of devices").
+struct StateTransfer {
+  static constexpr ClusterType kType = ClusterType::kStateTransfer;
+  UeContextRecord rec;
+
+  void encode(ByteWriter& w) const;
+  static StateTransfer decode(ByteReader& r);
+};
+
+struct StateTransferAck {
+  static constexpr ClusterType kType = ClusterType::kStateTransferAck;
+  Guti guti;
+
+  void encode(ByteWriter& w) const;
+  static StateTransferAck decode(ByteReader& r);
+};
+
+/// MMP → MLB on the management channel: "current load (moving average of
+/// CPU utilization) on each MMP VM" (§4.6) — the only per-VM metadata the
+/// MLB keeps.
+struct LoadReport {
+  static constexpr ClusterType kType = ClusterType::kLoadReport;
+  std::uint32_t mmp_node = 0;
+  double cpu_util = 0.0;
+  std::uint32_t active_devices = 0;
+
+  void encode(ByteWriter& w) const;
+  static LoadReport decode(ByteReader& r);
+};
+
+/// Provisioner → MLB: the updated consistent-hash membership. The MLB
+/// rebuilds its ring from (node, code) pairs — it stores no per-device data.
+struct RingUpdate {
+  static constexpr ClusterType kType = ClusterType::kRingUpdate;
+  struct Member {
+    std::uint32_t node = 0;   ///< simulator NodeId of the MMP VM
+    std::uint8_t code = 0;    ///< MMP code embedded in MmeUeId/Teid
+    bool operator==(const Member&) const = default;
+  };
+  std::uint64_t version = 0;
+  std::vector<Member> members;
+
+  void encode(ByteWriter& w) const;
+  static RingUpdate decode(ByteReader& r);
+};
+
+/// DC ↔ DC: periodic broadcast of the unused external-state budget Ŝm
+/// (§4.5.2 DC-level operation (iii)).
+struct GeoBudgetGossip {
+  static constexpr ClusterType kType = ClusterType::kGeoBudgetGossip;
+  std::uint32_t dc_id = 0;
+  double available_budget = 0.0;  ///< Ŝm, in device-state units
+  double cpu_load = 0.0;          ///< mean MMP utilization (offload gate)
+  double backlog_sec = 0.0;       ///< mean MMP queued work, seconds
+
+  void encode(ByteWriter& w) const;
+  static GeoBudgetGossip decode(ByteReader& r);
+};
+
+/// Overloaded local MMP → remote DC's MLB: process this device request
+/// remotely using its external replica (§4.6 task (3)).
+struct GeoForward {
+  static constexpr ClusterType kType = ClusterType::kGeoForward;
+  std::uint32_t origin = 0;   ///< external node awaiting the reply (eNB/S-GW)
+  std::uint32_t home_dc = 0;
+  std::uint32_t home_mlb = 0;  ///< return path for GeoReject
+  Guti guti;
+  PduRef inner;
+
+  void encode(ByteWriter& w) const;
+  static GeoForward decode(ByteReader& r);
+};
+
+/// Remote MMP → home MMP: no external replica here (stale ring / evicted);
+/// the home DC must process locally.
+struct GeoReject {
+  static constexpr ClusterType kType = ClusterType::kGeoReject;
+  Guti guti;
+  PduRef inner;
+  std::uint32_t origin = 0;
+
+  void encode(ByteWriter& w) const;
+  static GeoReject decode(ByteReader& r);
+};
+
+/// DC j → others: shrink your external share by `fraction` (§4.5.2 (v));
+/// receivers evict lowest-access-probability states first.
+struct GeoEvictRequest {
+  static constexpr ClusterType kType = ClusterType::kGeoEvictRequest;
+  std::uint32_t dc_id = 0;
+  double fraction = 0.0;
+
+  void encode(ByteWriter& w) const;
+  static GeoEvictRequest decode(ByteReader& r);
+};
+
+/// dMME processing node → centralized state store: fetch a device's
+/// context before running its procedure (the alternate split design of
+/// An et al., compared as future work in §6).
+struct StateFetch {
+  static constexpr ClusterType kType = ClusterType::kStateFetch;
+  Guti guti;
+
+  void encode(ByteWriter& w) const;
+  static StateFetch decode(ByteReader& r);
+};
+
+/// State store → dMME node.
+struct StateFetchResp {
+  static constexpr ClusterType kType = ClusterType::kStateFetchResp;
+  Guti guti;
+  bool found = false;
+  UeContextRecord rec;
+
+  void encode(ByteWriter& w) const;
+  static StateFetchResp decode(ByteReader& r);
+};
+
+using ClusterMessage =
+    std::variant<ClusterForward, ClusterReply, ReplicaPush, ReplicaAck,
+                 ReplicaDelete, StateTransfer, StateTransferAck, LoadReport,
+                 RingUpdate, GeoBudgetGossip, GeoForward, GeoReject,
+                 GeoEvictRequest, StateFetch, StateFetchResp>;
+
+void encode_cluster(const ClusterMessage& msg, ByteWriter& w);
+ClusterMessage decode_cluster(ByteReader& r);
+const char* cluster_name(const ClusterMessage& msg);
+
+}  // namespace scale::proto

@@ -1,0 +1,24 @@
+// Wire codec for top-level PDUs.
+//
+// encode_pdu/decode_pdu round-trip every message in the system; the MLB's
+// protocol-parsing path and the codec tests/benches exercise them. wire_size
+// reports the encoded size for network byte accounting without materializing
+// the buffer twice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "proto/pdu.h"
+
+namespace scale::proto {
+
+std::vector<std::uint8_t> encode_pdu(const Pdu& pdu);
+Pdu decode_pdu(std::span<const std::uint8_t> bytes);
+
+/// Encoded size in bytes (computed by encoding; cached nowhere — callers on
+/// hot paths should reuse one encode).
+std::size_t wire_size(const Pdu& pdu);
+
+}  // namespace scale::proto

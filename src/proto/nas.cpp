@@ -1,0 +1,186 @@
+#include "proto/nas.h"
+
+namespace scale::proto {
+
+void NasAttachRequest::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.boolean(old_guti.has_value());
+  if (old_guti) old_guti->encode(w);
+  w.u16(tac);
+}
+
+NasAttachRequest NasAttachRequest::decode(ByteReader& r) {
+  NasAttachRequest m;
+  m.imsi = r.u64();
+  if (r.boolean()) m.old_guti = Guti::decode(r);
+  m.tac = r.u16();
+  return m;
+}
+
+void NasAuthenticationRequest::encode(ByteWriter& w) const {
+  w.u64(rand);
+  w.u64(autn);
+}
+
+NasAuthenticationRequest NasAuthenticationRequest::decode(ByteReader& r) {
+  NasAuthenticationRequest m;
+  m.rand = r.u64();
+  m.autn = r.u64();
+  return m;
+}
+
+void NasAuthenticationResponse::encode(ByteWriter& w) const { w.u64(res); }
+
+NasAuthenticationResponse NasAuthenticationResponse::decode(ByteReader& r) {
+  return NasAuthenticationResponse{.res = r.u64()};
+}
+
+void NasSecurityModeCommand::encode(ByteWriter& w) const {
+  w.u8(integrity_algo);
+  w.u8(ciphering_algo);
+}
+
+NasSecurityModeCommand NasSecurityModeCommand::decode(ByteReader& r) {
+  NasSecurityModeCommand m;
+  m.integrity_algo = r.u8();
+  m.ciphering_algo = r.u8();
+  return m;
+}
+
+void NasAttachAccept::encode(ByteWriter& w) const {
+  guti.encode(w);
+  w.u32(tau_timer_s);
+}
+
+NasAttachAccept NasAttachAccept::decode(ByteReader& r) {
+  NasAttachAccept m;
+  m.guti = Guti::decode(r);
+  m.tau_timer_s = r.u32();
+  return m;
+}
+
+void NasServiceRequest::encode(ByteWriter& w) const {
+  w.u8(mme_code);
+  w.u32(m_tmsi);
+  w.u16(short_mac);
+}
+
+NasServiceRequest NasServiceRequest::decode(ByteReader& r) {
+  NasServiceRequest m;
+  m.mme_code = r.u8();
+  m.m_tmsi = r.u32();
+  m.short_mac = r.u16();
+  return m;
+}
+
+void NasServiceReject::encode(ByteWriter& w) const { w.u8(cause); }
+
+NasServiceReject NasServiceReject::decode(ByteReader& r) {
+  return NasServiceReject{.cause = r.u8()};
+}
+
+void NasTauRequest::encode(ByteWriter& w) const {
+  guti.encode(w);
+  w.u16(tac);
+  w.boolean(rebalance);
+}
+
+NasTauRequest NasTauRequest::decode(ByteReader& r) {
+  NasTauRequest m;
+  m.guti = Guti::decode(r);
+  m.tac = r.u16();
+  m.rebalance = r.boolean();
+  return m;
+}
+
+void NasTauAccept::encode(ByteWriter& w) const {
+  w.boolean(new_guti.has_value());
+  if (new_guti) new_guti->encode(w);
+  w.u32(tau_timer_s);
+}
+
+NasTauAccept NasTauAccept::decode(ByteReader& r) {
+  NasTauAccept m;
+  if (r.boolean()) m.new_guti = Guti::decode(r);
+  m.tau_timer_s = r.u32();
+  return m;
+}
+
+void NasDetachRequest::encode(ByteWriter& w) const { guti.encode(w); }
+
+NasDetachRequest NasDetachRequest::decode(ByteReader& r) {
+  return NasDetachRequest{.guti = Guti::decode(r)};
+}
+
+void encode_nas(const NasMessage& msg, ByteWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        w.u8(static_cast<std::uint8_t>(m.kType));
+        m.encode(w);
+      },
+      msg);
+}
+
+NasMessage decode_nas(ByteReader& r) {
+  const auto type = static_cast<NasType>(r.u8());
+  switch (type) {
+    case NasType::kAttachRequest: return NasAttachRequest::decode(r);
+    case NasType::kAuthenticationRequest:
+      return NasAuthenticationRequest::decode(r);
+    case NasType::kAuthenticationResponse:
+      return NasAuthenticationResponse::decode(r);
+    case NasType::kSecurityModeCommand:
+      return NasSecurityModeCommand::decode(r);
+    case NasType::kSecurityModeComplete:
+      return NasSecurityModeComplete::decode(r);
+    case NasType::kAttachAccept: return NasAttachAccept::decode(r);
+    case NasType::kAttachComplete: return NasAttachComplete::decode(r);
+    case NasType::kServiceRequest: return NasServiceRequest::decode(r);
+    case NasType::kServiceAccept: return NasServiceAccept::decode(r);
+    case NasType::kServiceReject: return NasServiceReject::decode(r);
+    case NasType::kTauRequest: return NasTauRequest::decode(r);
+    case NasType::kTauAccept: return NasTauAccept::decode(r);
+    case NasType::kDetachRequest: return NasDetachRequest::decode(r);
+    case NasType::kDetachAccept: return NasDetachAccept::decode(r);
+  }
+  throw CodecError("unknown NAS type " +
+                   std::to_string(static_cast<int>(type)));
+}
+
+const char* nas_name(const NasMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, NasAttachRequest>)
+          return "AttachRequest";
+        else if constexpr (std::is_same_v<T, NasAuthenticationRequest>)
+          return "AuthenticationRequest";
+        else if constexpr (std::is_same_v<T, NasAuthenticationResponse>)
+          return "AuthenticationResponse";
+        else if constexpr (std::is_same_v<T, NasSecurityModeCommand>)
+          return "SecurityModeCommand";
+        else if constexpr (std::is_same_v<T, NasSecurityModeComplete>)
+          return "SecurityModeComplete";
+        else if constexpr (std::is_same_v<T, NasAttachAccept>)
+          return "AttachAccept";
+        else if constexpr (std::is_same_v<T, NasAttachComplete>)
+          return "AttachComplete";
+        else if constexpr (std::is_same_v<T, NasServiceRequest>)
+          return "ServiceRequest";
+        else if constexpr (std::is_same_v<T, NasServiceAccept>)
+          return "ServiceAccept";
+        else if constexpr (std::is_same_v<T, NasServiceReject>)
+          return "ServiceReject";
+        else if constexpr (std::is_same_v<T, NasTauRequest>)
+          return "TauRequest";
+        else if constexpr (std::is_same_v<T, NasTauAccept>)
+          return "TauAccept";
+        else if constexpr (std::is_same_v<T, NasDetachRequest>)
+          return "DetachRequest";
+        else
+          return "DetachAccept";
+      },
+      msg);
+}
+
+}  // namespace scale::proto

@@ -1,0 +1,201 @@
+// NAS (Non-Access Stratum) messages — the UE ↔ MME dialogue, carried inside
+// S1AP transport PDUs by the eNodeB.
+//
+// The message set covers the procedures of §2: Attach/Re-Attach (with EPS-AKA
+// authentication and NAS security mode), Service Request, Tracking Area
+// Update, and Detach. Field layouts are simplified but preserve everything
+// the MME logic keys on (identities, auth material, timers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "proto/buffer.h"
+#include "proto/types.h"
+
+namespace scale::proto {
+
+enum class NasType : std::uint8_t {
+  kAttachRequest = 1,
+  kAuthenticationRequest = 2,
+  kAuthenticationResponse = 3,
+  kSecurityModeCommand = 4,
+  kSecurityModeComplete = 5,
+  kAttachAccept = 6,
+  kAttachComplete = 7,
+  kServiceRequest = 8,
+  kServiceAccept = 9,
+  kTauRequest = 10,
+  kTauAccept = 11,
+  kDetachRequest = 12,
+  kDetachAccept = 13,
+  kServiceReject = 14,
+};
+
+/// UE → MME. First message of the Attach procedure. Carries the IMSI on a
+/// fresh attach, or the previous GUTI on re-attach.
+struct NasAttachRequest {
+  static constexpr NasType kType = NasType::kAttachRequest;
+  Imsi imsi = 0;
+  std::optional<Guti> old_guti;
+  Tac tac = 0;
+
+  void encode(ByteWriter& w) const;
+  static NasAttachRequest decode(ByteReader& r);
+  bool operator==(const NasAttachRequest&) const = default;
+};
+
+/// MME → UE. EPS-AKA challenge built from the HSS auth vector.
+struct NasAuthenticationRequest {
+  static constexpr NasType kType = NasType::kAuthenticationRequest;
+  std::uint64_t rand = 0;
+  std::uint64_t autn = 0;
+
+  void encode(ByteWriter& w) const;
+  static NasAuthenticationRequest decode(ByteReader& r);
+  bool operator==(const NasAuthenticationRequest&) const = default;
+};
+
+/// UE → MME. RES computed by the USIM; MME checks against XRES.
+struct NasAuthenticationResponse {
+  static constexpr NasType kType = NasType::kAuthenticationResponse;
+  std::uint64_t res = 0;
+
+  void encode(ByteWriter& w) const;
+  static NasAuthenticationResponse decode(ByteReader& r);
+  bool operator==(const NasAuthenticationResponse&) const = default;
+};
+
+/// MME → UE. Activates NAS integrity/ciphering.
+struct NasSecurityModeCommand {
+  static constexpr NasType kType = NasType::kSecurityModeCommand;
+  std::uint8_t integrity_algo = 1;
+  std::uint8_t ciphering_algo = 1;
+
+  void encode(ByteWriter& w) const;
+  static NasSecurityModeCommand decode(ByteReader& r);
+  bool operator==(const NasSecurityModeCommand&) const = default;
+};
+
+/// UE → MME.
+struct NasSecurityModeComplete {
+  static constexpr NasType kType = NasType::kSecurityModeComplete;
+
+  void encode(ByteWriter&) const {}
+  static NasSecurityModeComplete decode(ByteReader&) { return {}; }
+  bool operator==(const NasSecurityModeComplete&) const = default;
+};
+
+/// MME → UE. Assigns the GUTI the eNodeB will subsequently route on.
+struct NasAttachAccept {
+  static constexpr NasType kType = NasType::kAttachAccept;
+  Guti guti;
+  std::uint32_t tau_timer_s = 3600;
+
+  void encode(ByteWriter& w) const;
+  static NasAttachAccept decode(ByteReader& r);
+  bool operator==(const NasAttachAccept&) const = default;
+};
+
+/// UE → MME. Closes the attach procedure.
+struct NasAttachComplete {
+  static constexpr NasType kType = NasType::kAttachComplete;
+
+  void encode(ByteWriter&) const {}
+  static NasAttachComplete decode(ByteReader&) { return {}; }
+  bool operator==(const NasAttachComplete&) const = default;
+};
+
+/// UE → MME. Idle → Active transition ("service request" of §2(a)). Per
+/// 3GPP this carries the S-TMSI — MME code plus M-TMSI — and a short MAC;
+/// the eNodeB routes on the MME code, the MLB reconstructs the full GUTI
+/// from pool constants to hash the ring.
+struct NasServiceRequest {
+  static constexpr NasType kType = NasType::kServiceRequest;
+  std::uint8_t mme_code = 0;
+  std::uint32_t m_tmsi = 0;
+  std::uint16_t short_mac = 0;
+
+  void encode(ByteWriter& w) const;
+  static NasServiceRequest decode(ByteReader& r);
+  bool operator==(const NasServiceRequest&) const = default;
+};
+
+/// MME → UE.
+struct NasServiceAccept {
+  static constexpr NasType kType = NasType::kServiceAccept;
+
+  void encode(ByteWriter&) const {}
+  static NasServiceAccept decode(ByteReader&) { return {}; }
+  bool operator==(const NasServiceAccept&) const = default;
+};
+
+/// MME → UE. Sent e.g. when the serving node lost the context.
+struct NasServiceReject {
+  static constexpr NasType kType = NasType::kServiceReject;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const;
+  static NasServiceReject decode(ByteReader& r);
+  bool operator==(const NasServiceReject&) const = default;
+};
+
+/// UE → MME. Periodic / mobility Tracking Area Update (§2(b)).
+struct NasTauRequest {
+  static constexpr NasType kType = NasType::kTauRequest;
+  Guti guti;
+  Tac tac = 0;
+  /// Set when the network asked for a load-rebalancing TAU (the 3GPP
+  /// overload-protection path of §3.1-2).
+  bool rebalance = false;
+
+  void encode(ByteWriter& w) const;
+  static NasTauRequest decode(ByteReader& r);
+  bool operator==(const NasTauRequest&) const = default;
+};
+
+/// MME → UE. May re-assign the GUTI (it does on rebalancing TAU).
+struct NasTauAccept {
+  static constexpr NasType kType = NasType::kTauAccept;
+  std::optional<Guti> new_guti;
+  std::uint32_t tau_timer_s = 3600;
+
+  void encode(ByteWriter& w) const;
+  static NasTauAccept decode(ByteReader& r);
+  bool operator==(const NasTauAccept&) const = default;
+};
+
+/// UE → MME.
+struct NasDetachRequest {
+  static constexpr NasType kType = NasType::kDetachRequest;
+  Guti guti;
+
+  void encode(ByteWriter& w) const;
+  static NasDetachRequest decode(ByteReader& r);
+  bool operator==(const NasDetachRequest&) const = default;
+};
+
+/// MME → UE.
+struct NasDetachAccept {
+  static constexpr NasType kType = NasType::kDetachAccept;
+
+  void encode(ByteWriter&) const {}
+  static NasDetachAccept decode(ByteReader&) { return {}; }
+  bool operator==(const NasDetachAccept&) const = default;
+};
+
+using NasMessage =
+    std::variant<NasAttachRequest, NasAuthenticationRequest,
+                 NasAuthenticationResponse, NasSecurityModeCommand,
+                 NasSecurityModeComplete, NasAttachAccept, NasAttachComplete,
+                 NasServiceRequest, NasServiceAccept, NasServiceReject,
+                 NasTauRequest, NasTauAccept, NasDetachRequest,
+                 NasDetachAccept>;
+
+/// Tagged encode / decode of any NAS message.
+void encode_nas(const NasMessage& msg, ByteWriter& w);
+NasMessage decode_nas(ByteReader& r);
+const char* nas_name(const NasMessage& msg);
+
+}  // namespace scale::proto

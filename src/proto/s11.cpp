@@ -1,0 +1,184 @@
+#include "proto/s11.h"
+
+namespace scale::proto {
+
+void CreateSessionRequest::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.u32(mme_teid.raw);
+}
+
+CreateSessionRequest CreateSessionRequest::decode(ByteReader& r) {
+  CreateSessionRequest m;
+  m.imsi = r.u64();
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void CreateSessionResponse::encode(ByteWriter& w) const {
+  w.u32(mme_teid.raw);
+  w.u32(sgw_teid.raw);
+}
+
+CreateSessionResponse CreateSessionResponse::decode(ByteReader& r) {
+  CreateSessionResponse m;
+  m.mme_teid.raw = r.u32();
+  m.sgw_teid.raw = r.u32();
+  return m;
+}
+
+void ModifyBearerRequest::encode(ByteWriter& w) const {
+  w.u32(sgw_teid.raw);
+  w.u32(mme_teid.raw);
+  w.u32(enb_id);
+}
+
+ModifyBearerRequest ModifyBearerRequest::decode(ByteReader& r) {
+  ModifyBearerRequest m;
+  m.sgw_teid.raw = r.u32();
+  m.mme_teid.raw = r.u32();
+  m.enb_id = r.u32();
+  return m;
+}
+
+void ModifyBearerResponse::encode(ByteWriter& w) const {
+  w.u32(mme_teid.raw);
+}
+
+ModifyBearerResponse ModifyBearerResponse::decode(ByteReader& r) {
+  ModifyBearerResponse m;
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void ReleaseAccessBearersRequest::encode(ByteWriter& w) const {
+  w.u32(sgw_teid.raw);
+  w.u32(mme_teid.raw);
+}
+
+ReleaseAccessBearersRequest ReleaseAccessBearersRequest::decode(
+    ByteReader& r) {
+  ReleaseAccessBearersRequest m;
+  m.sgw_teid.raw = r.u32();
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void ReleaseAccessBearersResponse::encode(ByteWriter& w) const {
+  w.u32(mme_teid.raw);
+}
+
+ReleaseAccessBearersResponse ReleaseAccessBearersResponse::decode(
+    ByteReader& r) {
+  ReleaseAccessBearersResponse m;
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void DeleteSessionRequest::encode(ByteWriter& w) const {
+  w.u32(sgw_teid.raw);
+  w.u32(mme_teid.raw);
+}
+
+DeleteSessionRequest DeleteSessionRequest::decode(ByteReader& r) {
+  DeleteSessionRequest m;
+  m.sgw_teid.raw = r.u32();
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void DeleteSessionResponse::encode(ByteWriter& w) const {
+  w.u32(mme_teid.raw);
+}
+
+DeleteSessionResponse DeleteSessionResponse::decode(ByteReader& r) {
+  DeleteSessionResponse m;
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void DownlinkDataNotification::encode(ByteWriter& w) const {
+  w.u32(mme_teid.raw);
+}
+
+DownlinkDataNotification DownlinkDataNotification::decode(ByteReader& r) {
+  DownlinkDataNotification m;
+  m.mme_teid.raw = r.u32();
+  return m;
+}
+
+void DownlinkDataNotificationAck::encode(ByteWriter& w) const {
+  w.u32(sgw_teid.raw);
+}
+
+DownlinkDataNotificationAck DownlinkDataNotificationAck::decode(
+    ByteReader& r) {
+  DownlinkDataNotificationAck m;
+  m.sgw_teid.raw = r.u32();
+  return m;
+}
+
+void encode_s11(const S11Message& msg, ByteWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        w.u8(static_cast<std::uint8_t>(m.kType));
+        m.encode(w);
+      },
+      msg);
+}
+
+S11Message decode_s11(ByteReader& r) {
+  const auto type = static_cast<S11Type>(r.u8());
+  switch (type) {
+    case S11Type::kCreateSessionRequest:
+      return CreateSessionRequest::decode(r);
+    case S11Type::kCreateSessionResponse:
+      return CreateSessionResponse::decode(r);
+    case S11Type::kModifyBearerRequest: return ModifyBearerRequest::decode(r);
+    case S11Type::kModifyBearerResponse:
+      return ModifyBearerResponse::decode(r);
+    case S11Type::kReleaseAccessBearersRequest:
+      return ReleaseAccessBearersRequest::decode(r);
+    case S11Type::kReleaseAccessBearersResponse:
+      return ReleaseAccessBearersResponse::decode(r);
+    case S11Type::kDeleteSessionRequest:
+      return DeleteSessionRequest::decode(r);
+    case S11Type::kDeleteSessionResponse:
+      return DeleteSessionResponse::decode(r);
+    case S11Type::kDownlinkDataNotification:
+      return DownlinkDataNotification::decode(r);
+    case S11Type::kDownlinkDataNotificationAck:
+      return DownlinkDataNotificationAck::decode(r);
+  }
+  throw CodecError("unknown S11 type " +
+                   std::to_string(static_cast<int>(type)));
+}
+
+const char* s11_name(const S11Message& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, CreateSessionRequest>)
+          return "CreateSessionRequest";
+        else if constexpr (std::is_same_v<T, CreateSessionResponse>)
+          return "CreateSessionResponse";
+        else if constexpr (std::is_same_v<T, ModifyBearerRequest>)
+          return "ModifyBearerRequest";
+        else if constexpr (std::is_same_v<T, ModifyBearerResponse>)
+          return "ModifyBearerResponse";
+        else if constexpr (std::is_same_v<T, ReleaseAccessBearersRequest>)
+          return "ReleaseAccessBearersRequest";
+        else if constexpr (std::is_same_v<T, ReleaseAccessBearersResponse>)
+          return "ReleaseAccessBearersResponse";
+        else if constexpr (std::is_same_v<T, DeleteSessionRequest>)
+          return "DeleteSessionRequest";
+        else if constexpr (std::is_same_v<T, DeleteSessionResponse>)
+          return "DeleteSessionResponse";
+        else if constexpr (std::is_same_v<T, DownlinkDataNotification>)
+          return "DownlinkDataNotification";
+        else
+          return "DownlinkDataNotificationAck";
+      },
+      msg);
+}
+
+}  // namespace scale::proto

@@ -1,0 +1,137 @@
+// S11 — the MME ↔ S-GW interface (GTP-C): creates, modifies and tears down
+// the per-device data path (§2: "carries the protocols to create and destroy
+// the data-path for each device").
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "proto/buffer.h"
+#include "proto/types.h"
+
+namespace scale::proto {
+
+enum class S11Type : std::uint8_t {
+  kCreateSessionRequest = 1,
+  kCreateSessionResponse = 2,
+  kModifyBearerRequest = 3,
+  kModifyBearerResponse = 4,
+  kReleaseAccessBearersRequest = 5,
+  kReleaseAccessBearersResponse = 6,
+  kDeleteSessionRequest = 7,
+  kDeleteSessionResponse = 8,
+  kDownlinkDataNotification = 9,
+  kDownlinkDataNotificationAck = 10,
+};
+
+/// MME → S-GW during Attach: allocate the EPS bearer.
+struct CreateSessionRequest {
+  static constexpr S11Type kType = S11Type::kCreateSessionRequest;
+  Imsi imsi = 0;
+  Teid mme_teid;  ///< sender TEID; top byte identifies the MMP (§5)
+
+  void encode(ByteWriter& w) const;
+  static CreateSessionRequest decode(ByteReader& r);
+};
+
+/// S-GW → MME.
+struct CreateSessionResponse {
+  static constexpr S11Type kType = S11Type::kCreateSessionResponse;
+  Teid mme_teid;
+  Teid sgw_teid;
+
+  void encode(ByteWriter& w) const;
+  static CreateSessionResponse decode(ByteReader& r);
+};
+
+/// MME → S-GW: re-point the downlink at a (new) eNodeB (Service Request
+/// re-activation and Handover path switch).
+struct ModifyBearerRequest {
+  static constexpr S11Type kType = S11Type::kModifyBearerRequest;
+  Teid sgw_teid;
+  Teid mme_teid;
+  std::uint32_t enb_id = 0;
+
+  void encode(ByteWriter& w) const;
+  static ModifyBearerRequest decode(ByteReader& r);
+};
+
+/// S-GW → MME.
+struct ModifyBearerResponse {
+  static constexpr S11Type kType = S11Type::kModifyBearerResponse;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static ModifyBearerResponse decode(ByteReader& r);
+};
+
+/// MME → S-GW on Active → Idle: release the radio-side bearer but keep the
+/// session (so downlink data triggers DownlinkDataNotification → Paging).
+struct ReleaseAccessBearersRequest {
+  static constexpr S11Type kType = S11Type::kReleaseAccessBearersRequest;
+  Teid sgw_teid;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static ReleaseAccessBearersRequest decode(ByteReader& r);
+};
+
+/// S-GW → MME.
+struct ReleaseAccessBearersResponse {
+  static constexpr S11Type kType = S11Type::kReleaseAccessBearersResponse;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static ReleaseAccessBearersResponse decode(ByteReader& r);
+};
+
+/// MME → S-GW on Detach.
+struct DeleteSessionRequest {
+  static constexpr S11Type kType = S11Type::kDeleteSessionRequest;
+  Teid sgw_teid;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static DeleteSessionRequest decode(ByteReader& r);
+};
+
+/// S-GW → MME.
+struct DeleteSessionResponse {
+  static constexpr S11Type kType = S11Type::kDeleteSessionResponse;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static DeleteSessionResponse decode(ByteReader& r);
+};
+
+/// S-GW → MME: downlink packet arrived for an Idle device → MME pages
+/// (§2(c)).
+struct DownlinkDataNotification {
+  static constexpr S11Type kType = S11Type::kDownlinkDataNotification;
+  Teid mme_teid;
+
+  void encode(ByteWriter& w) const;
+  static DownlinkDataNotification decode(ByteReader& r);
+};
+
+/// MME → S-GW.
+struct DownlinkDataNotificationAck {
+  static constexpr S11Type kType = S11Type::kDownlinkDataNotificationAck;
+  Teid sgw_teid;
+
+  void encode(ByteWriter& w) const;
+  static DownlinkDataNotificationAck decode(ByteReader& r);
+};
+
+using S11Message =
+    std::variant<CreateSessionRequest, CreateSessionResponse,
+                 ModifyBearerRequest, ModifyBearerResponse,
+                 ReleaseAccessBearersRequest, ReleaseAccessBearersResponse,
+                 DeleteSessionRequest, DeleteSessionResponse,
+                 DownlinkDataNotification, DownlinkDataNotificationAck>;
+
+void encode_s11(const S11Message& msg, ByteWriter& w);
+S11Message decode_s11(ByteReader& r);
+const char* s11_name(const S11Message& msg);
+
+}  // namespace scale::proto

@@ -1,0 +1,218 @@
+#include "proto/s1ap.h"
+
+namespace scale::proto {
+
+void InitialUeMessage::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u16(tac);
+  encode_nas(nas, w);
+}
+
+InitialUeMessage InitialUeMessage::decode(ByteReader& r) {
+  InitialUeMessage m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.tac = r.u16();
+  m.nas = decode_nas(r);
+  return m;
+}
+
+void UplinkNasTransport::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  encode_nas(nas, w);
+}
+
+UplinkNasTransport UplinkNasTransport::decode(ByteReader& r) {
+  UplinkNasTransport m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.nas = decode_nas(r);
+  return m;
+}
+
+void DownlinkNasTransport::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  encode_nas(nas, w);
+}
+
+DownlinkNasTransport DownlinkNasTransport::decode(ByteReader& r) {
+  DownlinkNasTransport m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.nas = decode_nas(r);
+  return m;
+}
+
+void InitialContextSetupRequest::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  w.u32(sgw_teid.raw);
+}
+
+InitialContextSetupRequest InitialContextSetupRequest::decode(ByteReader& r) {
+  InitialContextSetupRequest m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.sgw_teid.raw = r.u32();
+  return m;
+}
+
+void InitialContextSetupResponse::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  w.u32(enb_teid.raw);
+}
+
+InitialContextSetupResponse InitialContextSetupResponse::decode(
+    ByteReader& r) {
+  InitialContextSetupResponse m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.enb_teid.raw = r.u32();
+  return m;
+}
+
+void UeContextReleaseCommand::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  w.u8(static_cast<std::uint8_t>(cause));
+}
+
+UeContextReleaseCommand UeContextReleaseCommand::decode(ByteReader& r) {
+  UeContextReleaseCommand m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.cause = static_cast<ReleaseCause>(r.u8());
+  return m;
+}
+
+void UeContextReleaseComplete::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+}
+
+UeContextReleaseComplete UeContextReleaseComplete::decode(ByteReader& r) {
+  UeContextReleaseComplete m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  return m;
+}
+
+void Paging::encode(ByteWriter& w) const {
+  w.u32(m_tmsi);
+  w.u16(tac);
+}
+
+Paging Paging::decode(ByteReader& r) {
+  Paging m;
+  m.m_tmsi = r.u32();
+  m.tac = r.u16();
+  return m;
+}
+
+void PathSwitchRequest::encode(ByteWriter& w) const {
+  w.u32(new_enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+  w.u16(tac);
+}
+
+PathSwitchRequest PathSwitchRequest::decode(ByteReader& r) {
+  PathSwitchRequest m;
+  m.new_enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  m.tac = r.u16();
+  return m;
+}
+
+void PathSwitchAck::encode(ByteWriter& w) const {
+  w.u32(enb_id);
+  w.u32(enb_ue_id);
+  w.u32(mme_ue_id.raw);
+}
+
+PathSwitchAck PathSwitchAck::decode(ByteReader& r) {
+  PathSwitchAck m;
+  m.enb_id = r.u32();
+  m.enb_ue_id = r.u32();
+  m.mme_ue_id.raw = r.u32();
+  return m;
+}
+
+void encode_s1ap(const S1apMessage& msg, ByteWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        w.u8(static_cast<std::uint8_t>(m.kType));
+        m.encode(w);
+      },
+      msg);
+}
+
+S1apMessage decode_s1ap(ByteReader& r) {
+  const auto type = static_cast<S1apType>(r.u8());
+  switch (type) {
+    case S1apType::kInitialUeMessage: return InitialUeMessage::decode(r);
+    case S1apType::kUplinkNasTransport: return UplinkNasTransport::decode(r);
+    case S1apType::kDownlinkNasTransport:
+      return DownlinkNasTransport::decode(r);
+    case S1apType::kInitialContextSetupRequest:
+      return InitialContextSetupRequest::decode(r);
+    case S1apType::kInitialContextSetupResponse:
+      return InitialContextSetupResponse::decode(r);
+    case S1apType::kUeContextReleaseCommand:
+      return UeContextReleaseCommand::decode(r);
+    case S1apType::kUeContextReleaseComplete:
+      return UeContextReleaseComplete::decode(r);
+    case S1apType::kPaging: return Paging::decode(r);
+    case S1apType::kPathSwitchRequest: return PathSwitchRequest::decode(r);
+    case S1apType::kPathSwitchAck: return PathSwitchAck::decode(r);
+  }
+  throw CodecError("unknown S1AP type " +
+                   std::to_string(static_cast<int>(type)));
+}
+
+const char* s1ap_name(const S1apMessage& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, InitialUeMessage>)
+          return "InitialUeMessage";
+        else if constexpr (std::is_same_v<T, UplinkNasTransport>)
+          return "UplinkNasTransport";
+        else if constexpr (std::is_same_v<T, DownlinkNasTransport>)
+          return "DownlinkNasTransport";
+        else if constexpr (std::is_same_v<T, InitialContextSetupRequest>)
+          return "InitialContextSetupRequest";
+        else if constexpr (std::is_same_v<T, InitialContextSetupResponse>)
+          return "InitialContextSetupResponse";
+        else if constexpr (std::is_same_v<T, UeContextReleaseCommand>)
+          return "UeContextReleaseCommand";
+        else if constexpr (std::is_same_v<T, UeContextReleaseComplete>)
+          return "UeContextReleaseComplete";
+        else if constexpr (std::is_same_v<T, Paging>)
+          return "Paging";
+        else if constexpr (std::is_same_v<T, PathSwitchRequest>)
+          return "PathSwitchRequest";
+        else
+          return "PathSwitchAck";
+      },
+      msg);
+}
+
+}  // namespace scale::proto

@@ -1,0 +1,171 @@
+// S1AP — the eNodeB ↔ MME interface (§2: "the S1AP interface with the
+// eNodeBs carries the control protocols exchanged between the MMEs and the
+// eNodeBs and the MME and the devices").
+//
+// In SCALE the MLB terminates this interface and forwards to MMP VMs over an
+// "interface similar to S1AP" (§5), so the same PDUs flow MLB → MMP wrapped
+// in cluster envelopes (see cluster.h).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "proto/buffer.h"
+#include "proto/nas.h"
+#include "proto/types.h"
+
+namespace scale::proto {
+
+enum class S1apType : std::uint8_t {
+  kInitialUeMessage = 1,
+  kUplinkNasTransport = 2,
+  kDownlinkNasTransport = 3,
+  kInitialContextSetupRequest = 4,
+  kInitialContextSetupResponse = 5,
+  kUeContextReleaseCommand = 6,
+  kUeContextReleaseComplete = 7,
+  kPaging = 8,
+  kPathSwitchRequest = 9,
+  kPathSwitchAck = 10,
+};
+
+/// eNB → MME. Carries the first NAS message of a transaction plus the
+/// radio-side identifiers the MME echoes back.
+struct InitialUeMessage {
+  static constexpr S1apType kType = S1apType::kInitialUeMessage;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  Tac tac = 0;
+  NasMessage nas;
+
+  void encode(ByteWriter& w) const;
+  static InitialUeMessage decode(ByteReader& r);
+};
+
+/// eNB → MME, for NAS messages on an established UE-associated connection.
+/// Note: carries the MME-assigned id — per §5 this is how the MLB routes
+/// Active-mode traffic without per-device state.
+struct UplinkNasTransport {
+  static constexpr S1apType kType = S1apType::kUplinkNasTransport;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  NasMessage nas;
+
+  void encode(ByteWriter& w) const;
+  static UplinkNasTransport decode(ByteReader& r);
+};
+
+/// MME → eNB (→ UE).
+struct DownlinkNasTransport {
+  static constexpr S1apType kType = S1apType::kDownlinkNasTransport;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  NasMessage nas;
+
+  void encode(ByteWriter& w) const;
+  static DownlinkNasTransport decode(ByteReader& r);
+};
+
+/// MME → eNB: establish the radio-side data bearer (carries S-GW TEID).
+struct InitialContextSetupRequest {
+  static constexpr S1apType kType = S1apType::kInitialContextSetupRequest;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  Teid sgw_teid;
+
+  void encode(ByteWriter& w) const;
+  static InitialContextSetupRequest decode(ByteReader& r);
+};
+
+/// eNB → MME.
+struct InitialContextSetupResponse {
+  static constexpr S1apType kType = S1apType::kInitialContextSetupResponse;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  Teid enb_teid;
+
+  void encode(ByteWriter& w) const;
+  static InitialContextSetupResponse decode(ByteReader& r);
+};
+
+enum class ReleaseCause : std::uint8_t {
+  kUserInactivity = 0,
+  kLoadBalancingTauRequired = 1,  ///< 3GPP reactive rebalancing (§3.1-2)
+  kDetach = 2,
+  kHandover = 3,
+};
+
+/// MME → eNB: move the UE to Idle (or force re-attach elsewhere when the
+/// cause is load-balancing — the expensive reactive path of Fig. 2(b,c)).
+struct UeContextReleaseCommand {
+  static constexpr S1apType kType = S1apType::kUeContextReleaseCommand;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  ReleaseCause cause = ReleaseCause::kUserInactivity;
+
+  void encode(ByteWriter& w) const;
+  static UeContextReleaseCommand decode(ByteReader& r);
+};
+
+/// eNB → MME.
+struct UeContextReleaseComplete {
+  static constexpr S1apType kType = S1apType::kUeContextReleaseComplete;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+
+  void encode(ByteWriter& w) const;
+  static UeContextReleaseComplete decode(ByteReader& r);
+};
+
+/// MME → every eNB in the UE's tracking area (§2(c)).
+struct Paging {
+  static constexpr S1apType kType = S1apType::kPaging;
+  std::uint32_t m_tmsi = 0;
+  Tac tac = 0;
+
+  void encode(ByteWriter& w) const;
+  static Paging decode(ByteReader& r);
+};
+
+/// (target) eNB → MME after X2 handover: request downlink path switch
+/// (§2(d) — the MME re-points the S-GW at the new eNodeB).
+struct PathSwitchRequest {
+  static constexpr S1apType kType = S1apType::kPathSwitchRequest;
+  std::uint32_t new_enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+  Tac tac = 0;
+
+  void encode(ByteWriter& w) const;
+  static PathSwitchRequest decode(ByteReader& r);
+};
+
+/// MME → eNB.
+struct PathSwitchAck {
+  static constexpr S1apType kType = S1apType::kPathSwitchAck;
+  std::uint32_t enb_id = 0;
+  EnbUeId enb_ue_id = 0;
+  MmeUeId mme_ue_id;
+
+  void encode(ByteWriter& w) const;
+  static PathSwitchAck decode(ByteReader& r);
+};
+
+using S1apMessage =
+    std::variant<InitialUeMessage, UplinkNasTransport, DownlinkNasTransport,
+                 InitialContextSetupRequest, InitialContextSetupResponse,
+                 UeContextReleaseCommand, UeContextReleaseComplete, Paging,
+                 PathSwitchRequest, PathSwitchAck>;
+
+void encode_s1ap(const S1apMessage& msg, ByteWriter& w);
+S1apMessage decode_s1ap(ByteReader& r);
+const char* s1ap_name(const S1apMessage& msg);
+
+}  // namespace scale::proto

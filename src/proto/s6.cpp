@@ -1,0 +1,106 @@
+#include "proto/s6.h"
+
+namespace scale::proto {
+
+void AuthInfoRequest::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.u32(hop_ref);
+}
+
+AuthInfoRequest AuthInfoRequest::decode(ByteReader& r) {
+  AuthInfoRequest m;
+  m.imsi = r.u64();
+  m.hop_ref = r.u32();
+  return m;
+}
+
+void AuthInfoAnswer::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.u32(hop_ref);
+  w.boolean(known_subscriber);
+  w.u64(rand);
+  w.u64(autn);
+  w.u64(xres);
+}
+
+AuthInfoAnswer AuthInfoAnswer::decode(ByteReader& r) {
+  AuthInfoAnswer m;
+  m.imsi = r.u64();
+  m.hop_ref = r.u32();
+  m.known_subscriber = r.boolean();
+  m.rand = r.u64();
+  m.autn = r.u64();
+  m.xres = r.u64();
+  return m;
+}
+
+void UpdateLocationRequest::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.u32(mme_id);
+  w.u32(hop_ref);
+}
+
+UpdateLocationRequest UpdateLocationRequest::decode(ByteReader& r) {
+  UpdateLocationRequest m;
+  m.imsi = r.u64();
+  m.mme_id = r.u32();
+  m.hop_ref = r.u32();
+  return m;
+}
+
+void UpdateLocationAnswer::encode(ByteWriter& w) const {
+  w.u64(imsi);
+  w.boolean(ok);
+  w.u32(profile_id);
+  w.u32(hop_ref);
+}
+
+UpdateLocationAnswer UpdateLocationAnswer::decode(ByteReader& r) {
+  UpdateLocationAnswer m;
+  m.imsi = r.u64();
+  m.ok = r.boolean();
+  m.profile_id = r.u32();
+  m.hop_ref = r.u32();
+  return m;
+}
+
+void encode_s6(const S6Message& msg, ByteWriter& w) {
+  std::visit(
+      [&w](const auto& m) {
+        w.u8(static_cast<std::uint8_t>(m.kType));
+        m.encode(w);
+      },
+      msg);
+}
+
+S6Message decode_s6(ByteReader& r) {
+  const auto type = static_cast<S6Type>(r.u8());
+  switch (type) {
+    case S6Type::kAuthInfoRequest: return AuthInfoRequest::decode(r);
+    case S6Type::kAuthInfoAnswer: return AuthInfoAnswer::decode(r);
+    case S6Type::kUpdateLocationRequest:
+      return UpdateLocationRequest::decode(r);
+    case S6Type::kUpdateLocationAnswer:
+      return UpdateLocationAnswer::decode(r);
+  }
+  throw CodecError("unknown S6 type " +
+                   std::to_string(static_cast<int>(type)));
+}
+
+const char* s6_name(const S6Message& msg) {
+  return std::visit(
+      [](const auto& m) -> const char* {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, AuthInfoRequest>)
+          return "AuthInfoRequest";
+        else if constexpr (std::is_same_v<T, AuthInfoAnswer>)
+          return "AuthInfoAnswer";
+        else if constexpr (std::is_same_v<T, UpdateLocationRequest>)
+          return "UpdateLocationRequest";
+        else
+          return "UpdateLocationAnswer";
+      },
+      msg);
+}
+
+}  // namespace scale::proto

@@ -1,0 +1,77 @@
+// S6a — the MME ↔ HSS interface: subscriber authentication vectors and
+// location registration (§2: "used for protocol exchange to retrieve user
+// information from the HSS").
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "proto/buffer.h"
+#include "proto/types.h"
+
+namespace scale::proto {
+
+enum class S6Type : std::uint8_t {
+  kAuthInfoRequest = 1,
+  kAuthInfoAnswer = 2,
+  kUpdateLocationRequest = 3,
+  kUpdateLocationAnswer = 4,
+};
+
+/// MME → HSS: fetch an EPS-AKA authentication vector for the subscriber.
+/// `hop_ref` mirrors Diameter's hop-by-hop identifier: the HSS echoes it so
+/// a stateless proxy (SCALE's MLB) can route the answer to the issuing MMP.
+struct AuthInfoRequest {
+  static constexpr S6Type kType = S6Type::kAuthInfoRequest;
+  Imsi imsi = 0;
+  std::uint32_t hop_ref = 0;
+
+  void encode(ByteWriter& w) const;
+  static AuthInfoRequest decode(ByteReader& r);
+};
+
+/// HSS → MME: the vector (RAND, AUTN, XRES; K_ASME folded into xres here).
+struct AuthInfoAnswer {
+  static constexpr S6Type kType = S6Type::kAuthInfoAnswer;
+  Imsi imsi = 0;
+  std::uint32_t hop_ref = 0;
+  bool known_subscriber = true;
+  std::uint64_t rand = 0;
+  std::uint64_t autn = 0;
+  std::uint64_t xres = 0;
+
+  void encode(ByteWriter& w) const;
+  static AuthInfoAnswer decode(ByteReader& r);
+};
+
+/// MME → HSS: register which MME now serves the subscriber.
+struct UpdateLocationRequest {
+  static constexpr S6Type kType = S6Type::kUpdateLocationRequest;
+  Imsi imsi = 0;
+  std::uint32_t mme_id = 0;
+  std::uint32_t hop_ref = 0;
+
+  void encode(ByteWriter& w) const;
+  static UpdateLocationRequest decode(ByteReader& r);
+};
+
+/// HSS → MME: subscription profile.
+struct UpdateLocationAnswer {
+  static constexpr S6Type kType = S6Type::kUpdateLocationAnswer;
+  Imsi imsi = 0;
+  bool ok = true;
+  std::uint32_t profile_id = 0;
+  std::uint32_t hop_ref = 0;
+
+  void encode(ByteWriter& w) const;
+  static UpdateLocationAnswer decode(ByteReader& r);
+};
+
+using S6Message = std::variant<AuthInfoRequest, AuthInfoAnswer,
+                               UpdateLocationRequest, UpdateLocationAnswer>;
+
+void encode_s6(const S6Message& msg, ByteWriter& w);
+S6Message decode_s6(ByteReader& r);
+const char* s6_name(const S6Message& msg);
+
+}  // namespace scale::proto

@@ -1,0 +1,42 @@
+#include "proto/types.h"
+
+#include <sstream>
+
+namespace scale::proto {
+
+std::string Guti::str() const {
+  std::ostringstream os;
+  os << "GUTI(" << plmn << "." << mme_group << "."
+     << static_cast<int>(mme_code) << "." << m_tmsi << ")";
+  return os.str();
+}
+
+void Guti::encode(ByteWriter& w) const {
+  w.u16(plmn);
+  w.u16(mme_group);
+  w.u8(mme_code);
+  w.u32(m_tmsi);
+}
+
+Guti Guti::decode(ByteReader& r) {
+  Guti g;
+  g.plmn = r.u16();
+  g.mme_group = r.u16();
+  g.mme_code = r.u8();
+  g.m_tmsi = r.u32();
+  return g;
+}
+
+const char* procedure_name(ProcedureType p) {
+  switch (p) {
+    case ProcedureType::kAttach: return "attach";
+    case ProcedureType::kServiceRequest: return "service_request";
+    case ProcedureType::kTrackingAreaUpdate: return "tau";
+    case ProcedureType::kPaging: return "paging";
+    case ProcedureType::kHandover: return "handover";
+    case ProcedureType::kDetach: return "detach";
+  }
+  return "?";
+}
+
+}  // namespace scale::proto

@@ -1,0 +1,60 @@
+// Work-conserving single-server CPU model for a VM.
+//
+// Control-plane requests consume CPU slices; when offered load exceeds
+// capacity the FIFO backlog — and therefore queueing delay — grows without
+// bound, which is precisely the overload behaviour §3.1 measures on OpenEPC
+// ("once the compute capacity is reached, the requests have to be queued,
+// resulting in high and unpredictable delays").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.h"
+
+namespace scale::sim {
+
+class Engine;
+
+class CpuModel {
+ public:
+  /// speed_factor scales service times: 2.0 halves every execution time
+  /// (a faster VM flavor).
+  CpuModel(Engine& engine, double speed_factor = 1.0);
+
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  /// Enqueue `work` of CPU time; `on_done` fires when it completes (FIFO
+  /// behind everything already queued).
+  void execute(Duration work, std::function<void()> on_done);
+
+  /// Enqueue work with no completion callback (pure overhead, e.g. the CPU
+  /// cost of reassignment signaling on a peer).
+  void consume(Duration work);
+
+  /// Remaining queued work at the current instant.
+  Duration backlog() const;
+
+  /// Whether the server is busy right now.
+  bool busy() const;
+
+  /// Total CPU time consumed up to now (integral of the busy indicator).
+  Duration cumulative_busy() const;
+
+  /// Jobs whose completion callback has fired.
+  std::uint64_t completed_jobs() const { return completed_; }
+  std::uint64_t submitted_jobs() const { return submitted_; }
+
+  double speed_factor() const { return speed_; }
+
+ private:
+  Engine& engine_;
+  double speed_;
+  Time busy_until_ = Time::zero();
+  Duration total_assigned_ = Duration::zero();  // post-scaling work
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace scale::sim

@@ -1,0 +1,68 @@
+#include "sim/engine.h"
+
+namespace scale::sim {
+
+EventId Engine::at(Time t, Action action) {
+  SCALE_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(action)});
+  return id;
+}
+
+EventId Engine::after(Duration d, Action action) {
+  SCALE_CHECK_MSG(d >= Duration::zero(), "negative delay");
+  return at(now_ + d, std::move(action));
+}
+
+bool Engine::cancel(EventId id) {
+  if (id >= next_id_) return false;
+  // We cannot remove from the heap; remember the id and skip it on pop.
+  return cancelled_.insert(id).second;
+}
+
+bool Engine::pop_one() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the action must be moved out, so
+    // copy the POD parts first, then pop.
+    const Event& top = queue_.top();
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    SCALE_CHECK(top.at >= now_);
+    now_ = top.at;
+    Action action = std::move(const_cast<Event&>(top).action);
+    queue_.pop();
+    ++processed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run(std::uint64_t limit) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (!pop_one()) return;
+  }
+}
+
+void Engine::run_until(Time t) {
+  SCALE_CHECK(t >= now_);
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.at > t) break;
+    now_ = top.at;
+    Action action = std::move(const_cast<Event&>(top).action);
+    queue_.pop();
+    ++processed_;
+    action();
+  }
+  now_ = t;
+}
+
+}  // namespace scale::sim

@@ -1,0 +1,107 @@
+// Measurement probes used by every experiment:
+//   DelayRecorder — end-to-end control-procedure delays, bucketed by
+//                   procedure type (Attach / Service Request / Handover ...)
+//   CpuSampler    — periodic CPU-utilization sampling of a set of CpuModels,
+//                   producing the timelines of Figs. 7, 8(b,c), 9(a)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "sim/cpu.h"
+
+namespace scale::sim {
+
+class Engine;
+
+class DelayRecorder {
+ public:
+  /// cap > 0 reservoir-samples each bucket (0 keeps everything).
+  explicit DelayRecorder(std::size_t cap = 0) : cap_(cap) {}
+
+  void record(const std::string& bucket, Duration delay);
+
+  bool has(const std::string& bucket) const;
+  const PercentileSampler& bucket(const std::string& bucket) const;
+  /// Union of every bucket's samples.
+  PercentileSampler merged() const;
+  std::vector<std::string> buckets() const;
+  std::uint64_t total_count() const;
+  void clear();
+
+ private:
+  std::size_t cap_;
+  std::map<std::string, PercentileSampler> buckets_;
+};
+
+/// Self-contained moving-average CPU-utilization estimate for one VM — what
+/// an MMP reports in its LoadReport (§4.6: "current load (moving average of
+/// CPU utilization)") and what overload-protection thresholds test against.
+class UtilizationTracker {
+ public:
+  UtilizationTracker(Engine& engine, const CpuModel& cpu,
+                     Duration interval = Duration::ms(100.0),
+                     double alpha = 0.3);
+
+  /// Current moving-average utilization in [0, 1].
+  double utilization() const { return ewma_.value(); }
+
+  /// Stop sampling (call before destroying the tracked CPU).
+  void stop() { stopped_ = true; }
+
+ private:
+  void tick();
+
+  Engine& engine_;
+  const CpuModel& cpu_;
+  Duration interval_;
+  Ewma ewma_;
+  Duration last_busy_;
+  Time last_time_;
+  bool stopped_ = false;
+};
+
+/// Samples utilization of registered CPUs every `interval`, writing one
+/// TimeSeries per CPU. Utilization over a sample window = busy-time delta /
+/// wall delta, i.e. the fraction of the window the server was serving.
+class CpuSampler {
+ public:
+  CpuSampler(Engine& engine, Duration interval);
+
+  /// Register a CPU under a display name; starts sampling immediately. The
+  /// CpuModel must outlive the sampler (or sampling must stop first).
+  void track(const std::string& name, const CpuModel& cpu);
+
+  /// Stop tracking (safe to call for a CPU about to be destroyed).
+  void untrack(const std::string& name);
+
+  /// Stop all sampling (no more events are scheduled).
+  void stop();
+
+  const TimeSeries& series(const std::string& name) const;
+  bool has(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  void tick();
+
+  struct Tracked {
+    const CpuModel* cpu;
+    Duration last_busy;
+    TimeSeries series;
+  };
+
+  Engine& engine_;
+  Duration interval_;
+  Time last_sample_;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::map<std::string, Tracked> tracked_;
+};
+
+}  // namespace scale::sim

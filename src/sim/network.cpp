@@ -1,0 +1,75 @@
+#include "sim/network.h"
+
+#include "common/check.h"
+
+namespace scale::sim {
+
+Network::Network(Duration default_latency, std::uint64_t jitter_seed)
+    : default_latency_(default_latency), rng_(jitter_seed) {}
+
+void Network::set_latency(NodeId a, NodeId b, Duration latency,
+                          bool symmetric) {
+  SCALE_CHECK(latency >= Duration::zero());
+  latency_[pair_key(a, b)] = latency;
+  if (symmetric) latency_[pair_key(b, a)] = latency;
+}
+
+void Network::set_jitter(double fraction) {
+  SCALE_CHECK(fraction >= 0.0 && fraction < 1.0);
+  jitter_ = fraction;
+}
+
+void Network::set_node_dc(NodeId node, std::uint32_t dc) {
+  node_dc_[node] = dc;
+}
+
+std::uint32_t Network::dc_of(NodeId node) const {
+  const auto it = node_dc_.find(node);
+  return it == node_dc_.end() ? 0 : it->second;
+}
+
+void Network::set_dc_latency(std::uint32_t dc_a, std::uint32_t dc_b,
+                             Duration latency, bool symmetric) {
+  SCALE_CHECK(latency >= Duration::zero());
+  dc_latency_[pair_key(dc_a, dc_b)] = latency;
+  if (symmetric) dc_latency_[pair_key(dc_b, dc_a)] = latency;
+}
+
+Duration Network::dc_latency(std::uint32_t dc_a, std::uint32_t dc_b) const {
+  if (dc_a == dc_b) return default_latency_;
+  const auto it = dc_latency_.find(pair_key(dc_a, dc_b));
+  return it == dc_latency_.end() ? default_latency_ : it->second;
+}
+
+Duration Network::configured_latency(NodeId a, NodeId b) const {
+  const auto it = latency_.find(pair_key(a, b));
+  if (it != latency_.end()) return it->second;
+  const std::uint32_t dc_a = dc_of(a), dc_b = dc_of(b);
+  if (dc_a != dc_b) return dc_latency(dc_a, dc_b);
+  return default_latency_;
+}
+
+Duration Network::delay(NodeId a, NodeId b) {
+  const Duration base = configured_latency(a, b);
+  if (jitter_ == 0.0) return base;
+  return base * rng_.uniform(1.0 - jitter_, 1.0 + jitter_);
+}
+
+void Network::record_transfer(NodeId a, NodeId b, std::size_t bytes) {
+  ++messages_;
+  bytes_ += bytes;
+  ++pair_messages_[pair_key(a, b)];
+}
+
+std::uint64_t Network::messages_between(NodeId a, NodeId b) const {
+  const auto it = pair_messages_.find(pair_key(a, b));
+  return it == pair_messages_.end() ? 0 : it->second;
+}
+
+void Network::reset_counters() {
+  messages_ = 0;
+  bytes_ = 0;
+  pair_messages_.clear();
+}
+
+}  // namespace scale::sim

@@ -1,0 +1,75 @@
+// Propagation-delay network model.
+//
+// Replaces the paper's physical LAN plus netem-emulated inter-DC links
+// (§5, E4-ii): every ordered node pair has a one-way latency; unspecified
+// pairs fall back to a default. Optional multiplicative jitter models
+// queueing noise on the path. Byte/message counters expose the signaling
+// overhead that Figs. 2(c) and 8(b,c) attribute to reactive reassignment.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace scale::sim {
+
+/// Identifier of an addressable entity (UE, eNodeB, MLB, MMP, S-GW, HSS...).
+using NodeId = std::uint32_t;
+
+class Network {
+ public:
+  explicit Network(Duration default_latency = Duration::us(500),
+                   std::uint64_t jitter_seed = 42);
+
+  /// Set the one-way latency for (a -> b); with symmetric=true also (b -> a).
+  void set_latency(NodeId a, NodeId b, Duration latency,
+                   bool symmetric = true);
+  void set_default_latency(Duration latency) { default_latency_ = latency; }
+
+  /// Data-center placement: nodes default to DC 0. A pair in different DCs
+  /// without an explicit pair latency uses the DC-level latency matrix —
+  /// this is the netem substitute for the inter-DC experiments (E4-ii, S2).
+  void set_node_dc(NodeId node, std::uint32_t dc);
+  std::uint32_t dc_of(NodeId node) const;
+  void set_dc_latency(std::uint32_t dc_a, std::uint32_t dc_b,
+                      Duration latency, bool symmetric = true);
+  /// Configured DC-to-DC latency (default latency when unset or same DC).
+  Duration dc_latency(std::uint32_t dc_a, std::uint32_t dc_b) const;
+
+  /// Multiplicative jitter fraction j: actual = latency * U[1-j, 1+j].
+  void set_jitter(double fraction);
+
+  /// One-way delay for a message a -> b (with jitter applied, if any).
+  Duration delay(NodeId a, NodeId b);
+
+  /// Deterministic (jitter-free) configured latency.
+  Duration configured_latency(NodeId a, NodeId b) const;
+
+  /// Accounting hook: call per message sent.
+  void record_transfer(NodeId a, NodeId b, std::size_t bytes);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_between(NodeId a, NodeId b) const;
+
+  void reset_counters();
+
+ private:
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  Duration default_latency_;
+  double jitter_ = 0.0;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, Duration> latency_;
+  std::unordered_map<NodeId, std::uint32_t> node_dc_;
+  std::unordered_map<std::uint64_t, Duration> dc_latency_;
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_messages_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace scale::sim

@@ -1,0 +1,41 @@
+#include "workload/population.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scale::workload {
+
+std::vector<double> uniform_access(std::size_t n, double wi) {
+  SCALE_CHECK(wi >= 0.0 && wi <= 1.0);
+  return std::vector<double>(n, wi);
+}
+
+std::vector<double> bimodal_access(std::size_t n, double low_fraction,
+                                   double low, double high) {
+  SCALE_CHECK(low_fraction >= 0.0 && low_fraction <= 1.0);
+  std::vector<double> out(n);
+  const auto cutoff = static_cast<std::size_t>(
+      low_fraction * static_cast<double>(n));
+  for (std::size_t i = 0; i < n; ++i) out[i] = i < cutoff ? low : high;
+  return out;
+}
+
+std::vector<double> zipf_access(std::size_t n, double s, double peak) {
+  SCALE_CHECK(n > 0);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = peak / std::pow(static_cast<double>(i + 1), s);
+  return out;
+}
+
+std::vector<double> random_access(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed) {
+  SCALE_CHECK(lo <= hi);
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& w : out) w = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace scale::workload

@@ -1,0 +1,31 @@
+// Device-population shaping: access-frequency (wᵢ) distributions.
+//
+// §4.5 leans on populations where many devices have low access probability
+// (IoT): these helpers generate wᵢ vectors for the bench harnesses and for
+// seeding cluster profiling state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scale::workload {
+
+/// All devices share one access probability.
+std::vector<double> uniform_access(std::size_t n, double wi);
+
+/// A fraction of devices are "low-activity" (wᵢ = low), the rest "high"
+/// (wᵢ = high) — the M2M/IoT bimodal shape of experiment S3.
+std::vector<double> bimodal_access(std::size_t n, double low_fraction,
+                                   double low = 0.05, double high = 0.8);
+
+/// Zipf-ranked activity: device at rank r gets wᵢ ∝ r^{-s}, normalized so
+/// the maximum equals `peak`.
+std::vector<double> zipf_access(std::size_t n, double s, double peak = 0.9);
+
+/// Uniformly random wᵢ in [lo, hi].
+std::vector<double> random_access(std::size_t n, double lo, double hi,
+                                  std::uint64_t seed);
+
+}  // namespace scale::workload

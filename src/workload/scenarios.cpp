@@ -1,0 +1,46 @@
+#include "workload/scenarios.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace scale::workload {
+
+SkewedSplit make_skewed_split(
+    const std::vector<epc::Ue*>& devices, double total_rate_per_sec,
+    double hot_boost, const std::function<bool(const epc::Ue&)>& is_hot) {
+  SCALE_CHECK(total_rate_per_sec > 0.0);
+  SCALE_CHECK(hot_boost >= 1.0);
+  SCALE_CHECK(static_cast<bool>(is_hot));
+  SkewedSplit split;
+  for (epc::Ue* ue : devices)
+    (is_hot(*ue) ? split.hot : split.cold).push_back(ue);
+  const double n_hot = static_cast<double>(split.hot.size());
+  const double n_cold = static_cast<double>(split.cold.size());
+  SCALE_CHECK_MSG(n_hot + n_cold > 0.0, "empty device set");
+  // Per-device unit share u solves u·(boost·n_hot + n_cold) = total.
+  const double unit = total_rate_per_sec / (hot_boost * n_hot + n_cold);
+  split.hot_rate_per_sec = unit * hot_boost * n_hot;
+  split.cold_rate_per_sec = unit * n_cold;
+  return split;
+}
+
+const std::vector<double>& skew_levels() {
+  static const std::vector<double> levels = {1.5, 2.5, 4.0, 6.0};
+  return levels;
+}
+
+DiurnalProfile::DiurnalProfile(double low_rate, double high_rate,
+                               Duration period)
+    : low_(low_rate), high_(high_rate), period_(period) {
+  SCALE_CHECK(low_rate > 0.0 && high_rate >= low_rate);
+  SCALE_CHECK(period > Duration::zero());
+}
+
+double DiurnalProfile::rate_at(Duration since_start) const {
+  const double phase = since_start / period_ * 2.0 * 3.14159265358979;
+  const double swing = 0.5 * (1.0 - std::cos(phase));  // 0 at t=0 (trough)
+  return low_ + (high_ - low_) * swing;
+}
+
+}  // namespace scale::workload

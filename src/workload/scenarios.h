@@ -1,0 +1,50 @@
+// Composite workload scenarios used across benches and examples:
+//   * load-skew splits (the L1–L4 scenarios of experiment S1),
+//   * diurnal rate profiles (elastic provisioning),
+//   * regional burst selection (synchronous mass access).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "epc/ue.h"
+
+namespace scale::workload {
+
+/// A device population split into a "hot" subset (whose aggregate request
+/// share is boosted) and the remainder, with per-group Poisson rates that
+/// preserve a fixed total. This is how S1's skewness scenarios L1..L4 are
+/// constructed (§5.1: "certain VMs are selected to have higher number of
+/// active devices than their processing capacity").
+struct SkewedSplit {
+  std::vector<epc::Ue*> hot;
+  std::vector<epc::Ue*> cold;
+  double hot_rate_per_sec = 0.0;
+  double cold_rate_per_sec = 0.0;
+};
+
+/// Partition `devices` by `is_hot` and apportion `total_rate_per_sec` so a
+/// hot device receives `hot_boost` × a cold device's share.
+SkewedSplit make_skewed_split(
+    const std::vector<epc::Ue*>& devices, double total_rate_per_sec,
+    double hot_boost, const std::function<bool(const epc::Ue&)>& is_hot);
+
+/// The canonical S1 skew levels (boost factors for L1..L4).
+const std::vector<double>& skew_levels();
+
+/// A smooth diurnal profile: rate(t) swings sinusoidally between `low` and
+/// `high` with the given period; phase 0 starts at the trough.
+class DiurnalProfile {
+ public:
+  DiurnalProfile(double low_rate, double high_rate, Duration period);
+
+  double rate_at(Duration since_start) const;
+
+ private:
+  double low_;
+  double high_;
+  Duration period_;
+};
+
+}  // namespace scale::workload

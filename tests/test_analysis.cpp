@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/access_model.h"
+#include "analysis/replication_model.h"
+
+namespace scale::analysis {
+namespace {
+
+ReplicationModel::Params base_params() {
+  ReplicationModel::Params p;
+  p.lambda = 0.8;
+  p.epoch_T = 60.0;
+  p.capacity_N = 50;
+  p.cost_C = 1.0;
+  return p;
+}
+
+TEST(ReplicationModel, ZeroAccessZeroCost) {
+  ReplicationModel m(base_params());
+  EXPECT_DOUBLE_EQ(m.expected_cost(0.0, 1), 0.0);
+}
+
+TEST(ReplicationModel, CostIncreasesWithArrivalRate) {
+  // Fig. 6(a) x-axis behaviour: more offered load, more cost.
+  double prev = 0.0;
+  for (double lambda : {0.5, 0.7, 0.85, 0.95, 1.0}) {
+    auto p = base_params();
+    p.lambda = lambda;
+    ReplicationModel m(p);
+    const double cost = m.expected_cost(0.6, 1);
+    EXPECT_GE(cost, prev) << "lambda " << lambda;
+    prev = cost;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(ReplicationModel, ReplicationReducesCost) {
+  ReplicationModel m(base_params());
+  const double c1 = m.expected_cost(0.6, 1);
+  const double c2 = m.expected_cost(0.6, 2);
+  const double c3 = m.expected_cost(0.6, 3);
+  EXPECT_GT(c1, c2);
+  EXPECT_GE(c2, c3);
+}
+
+TEST(ReplicationModel, SecondReplicaGivesMostOfTheBenefit) {
+  // The Fig. 6(a) headline: R=1→2 is a big drop; 2→3 is marginal.
+  ReplicationModel m(base_params());
+  const double c1 = m.expected_cost(0.7, 1);
+  const double c2 = m.expected_cost(0.7, 2);
+  const double c3 = m.expected_cost(0.7, 3);
+  ASSERT_GT(c1, 0.0);
+  const double gain12 = c1 - c2;
+  const double gain23 = c2 - c3;
+  EXPECT_GT(gain12, 5.0 * gain23);
+}
+
+TEST(ReplicationModel, ProductFormMatchesLogGamma) {
+  // Eq. 9 is an algebraic identity for Eq. 8's gamma ratio; both
+  // implementations must agree.
+  auto p = base_params();
+  p.capacity_N = 20;  // keep the O(k·R) product cheap
+  ReplicationModel m(p);
+  for (unsigned R : {1u, 2u, 3u}) {
+    for (double wi : {0.3, 0.6, 0.9}) {
+      const double a = m.expected_cost(wi, R);
+      const double b = m.expected_cost_product_form(wi, R);
+      EXPECT_NEAR(a, b, 1e-9 + 1e-6 * std::abs(a))
+          << "R=" << R << " wi=" << wi;
+    }
+  }
+}
+
+TEST(ReplicationModel, AverageCostIsAccessWeighted) {
+  ReplicationModel m(base_params());
+  const std::vector<double> wis = {0.2, 0.8};
+  const double avg = m.average_cost(wis, 1);
+  const double manual = (0.2 * m.expected_cost(0.2, 1) +
+                         0.8 * m.expected_cost(0.8, 1)) /
+                        1.0;
+  EXPECT_NEAR(avg, manual, 1e-12);
+}
+
+TEST(ReplicationModel, HigherCapacityLowersCost) {
+  auto lo = base_params();
+  auto hi = base_params();
+  hi.capacity_N = 60;
+  EXPECT_GT(ReplicationModel(lo).expected_cost(0.6, 1),
+            ReplicationModel(hi).expected_cost(0.6, 1));
+}
+
+class ReplicationSweep
+    : public ::testing::TestWithParam<std::tuple<double, unsigned>> {};
+
+// Property sweep: cost is nonnegative and finite across the parameter
+// space (wi enters both as demand and as the no-show probability, so cost
+// is not necessarily monotone in wi — only well-defined).
+TEST_P(ReplicationSweep, CostWellBehaved) {
+  const auto [lambda, R] = GetParam();
+  auto p = base_params();
+  p.lambda = lambda;
+  ReplicationModel m(p);
+  for (double wi = 0.1; wi <= 1.0; wi += 0.1) {
+    const double c = m.expected_cost(wi, R);
+    EXPECT_TRUE(std::isfinite(c));
+    EXPECT_GE(c, 0.0);
+    // More replicas never hurt at equal wi.
+    EXPECT_LE(m.expected_cost(wi, R + 1), c + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LambdaAndR, ReplicationSweep,
+    ::testing::Combine(::testing::Values(0.5, 0.8, 0.95),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// ------------------------------------------------------------ AccessAwareModel
+
+AccessAwareModel::Params constrained_params() {
+  AccessAwareModel::Params p;
+  p.base = base_params();
+  p.base.lambda = 0.9;
+  p.vms_V = 10;
+  p.usable_capacity_S = 150.0;  // V·S' = 1500 < R·K = 2000
+  p.devices_K = 1000;
+  p.target_replicas_R = 2;
+  return p;
+}
+
+TEST(AccessAwareModel, BaseReplicasAndLeftover) {
+  AccessAwareModel m(constrained_params());
+  EXPECT_EQ(m.base_replicas(), 1u);  // floor(1500/1000)
+  EXPECT_NEAR(m.leftover_fraction(), 0.5, 1e-12);
+  EXPECT_NEAR(m.p_extra_uniform(), 0.5, 1e-12);
+}
+
+TEST(AccessAwareModel, UnconstrainedMeansFullReplication) {
+  auto p = constrained_params();
+  p.usable_capacity_S = 1000.0;  // V·S' = 10000 >= R·K
+  AccessAwareModel m(p);
+  EXPECT_EQ(m.base_replicas(), 2u);
+  EXPECT_DOUBLE_EQ(m.leftover_fraction(), 0.0);
+}
+
+TEST(AccessAwareModel, Eq12ProportionalAndCapped) {
+  AccessAwareModel m(constrained_params());
+  const double sum_w = 100.0;
+  const double p_small = m.p_extra_access_aware(0.01, sum_w);
+  const double p_big = m.p_extra_access_aware(0.5, sum_w);
+  EXPECT_LT(p_small, p_big);
+  // 0.5/100 * 500 extra states = 2.5 → capped at 1.
+  EXPECT_DOUBLE_EQ(p_big, 1.0);
+}
+
+TEST(AccessAwareModel, AccessAwareBeatsRandomUnderMemoryPressure) {
+  // Fig. 6(b): proportional replication yields lower population cost than
+  // uniform random selection with identical memory.
+  AccessAwareModel m(constrained_params());
+  std::vector<double> wis;
+  for (std::size_t i = 0; i < 200; ++i)
+    wis.push_back(i < 150 ? 0.05 : 0.9);  // mostly dormant + hot minority
+  const double aware = m.average_cost(wis, /*access_aware=*/true);
+  const double random = m.average_cost(wis, /*access_aware=*/false);
+  EXPECT_LT(aware, random);
+  EXPECT_GT(random, 1.2 * aware);  // materially better, not noise
+}
+
+TEST(AccessAwareModel, Eq13MixesTwoLevels) {
+  AccessAwareModel m(constrained_params());
+  const double c0 = m.device_cost(0.6, 0.0);
+  const double c1 = m.device_cost(0.6, 1.0);
+  const double mid = m.device_cost(0.6, 0.5);
+  EXPECT_GT(c0, c1);  // extra replica helps
+  EXPECT_NEAR(mid, 0.5 * (c0 + c1), 1e-12);
+}
+
+}  // namespace
+}  // namespace scale::analysis

@@ -1,0 +1,95 @@
+// Validates the Appendix closed form against direct numerical evaluation
+// of the underlying integral (Eqs. 5–7), R = 1:
+//
+//   C̄ᵢ = C ∫₀ᵀ (1 − e^{−λ(T−t)}) wᵢ Σ_{k≥N} P(N(t)=k) (1 − wᵢ/(λT))^k dt
+//
+// The closed form (Eq. 8) takes T large (complete gamma integrals and no
+// end-of-epoch truncation); the two must agree tightly when λT ≫ N.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/replication_model.h"
+
+namespace scale::analysis {
+namespace {
+
+// P(Poisson(λt) = k) numerically stable via logs.
+double log_poisson_pmf(double lambda_t, std::uint64_t k) {
+  const double kd = static_cast<double>(k);
+  return kd * std::log(lambda_t) - lambda_t - std::lgamma(kd + 1.0);
+}
+
+// Direct Simpson integration of Eq. 7 for R = 1.
+double numeric_cost_r1(double lambda, double T, std::uint64_t N, double wi,
+                       double C) {
+  const double q = 1.0 - wi / (lambda * T);
+  const int steps = 4000;  // even
+  const double h = T / steps;
+  auto integrand = [&](double t) {
+    if (t <= 0.0) return 0.0;
+    const double lt = lambda * t;
+    double tail = 0.0;
+    // Sum the Poisson tail k >= N with the q^k weighting.
+    for (std::uint64_t k = N; k < N + 4000; ++k) {
+      const double term =
+          std::exp(log_poisson_pmf(lt, k) +
+                   static_cast<double>(k) * std::log(q));
+      tail += term;
+      if (term < 1e-14 * tail && k > N + 16) break;
+    }
+    return (1.0 - std::exp(-lambda * (T - t))) * wi * tail;
+  };
+  double sum = integrand(0.0) + integrand(T);
+  for (int i = 1; i < steps; ++i)
+    sum += integrand(i * h) * (i % 2 ? 4.0 : 2.0);
+  return C * sum * h / 3.0;
+}
+
+TEST(AnalysisNumeric, ClosedFormUpperBoundsTruncatedIntegral) {
+  // The paper's large-T step replaces each ∫₀ᵀ P(N(t)=k) dt with the
+  // complete 1/λ and drops the (1 − e^{−λ(T−t)}) truncation, so the closed
+  // form is an UPPER BOUND on the finite-epoch integral — never below it,
+  // and within a bounded factor when λT ≫ N.
+  ReplicationModel::Params p;
+  p.lambda = 10.0;
+  p.epoch_T = 60.0;
+  p.capacity_N = 50;
+  p.cost_C = 1.0;
+  ReplicationModel model(p);
+  for (double wi : {0.3, 0.6, 0.9}) {
+    const double closed = model.expected_cost(wi, 1);
+    const double numeric =
+        numeric_cost_r1(p.lambda, p.epoch_T, p.capacity_N, wi, p.cost_C);
+    ASSERT_GT(numeric, 0.0);
+    EXPECT_GE(closed, numeric) << "wi=" << wi;
+    EXPECT_LE(closed, 6.0 * numeric)
+        << "wi=" << wi << " closed=" << closed << " numeric=" << numeric;
+  }
+}
+
+TEST(AnalysisNumeric, BothFormsAgreeOnTheSaturationKnee) {
+  // What the model is used for (Fig. 6a): the *shape* vs arrival rate.
+  // Closed form and truncated integral must both be monotone in λ and
+  // place the blow-up in the same place (cost at λ_hi ≫ cost at λ_lo).
+  auto cost_at = [](double lambda, bool closed_form) {
+    ReplicationModel::Params p;
+    p.lambda = lambda;
+    p.epoch_T = 60.0;
+    p.capacity_N = 240;
+    p.cost_C = 1.0;
+    if (closed_form) return ReplicationModel(p).expected_cost(0.9, 1);
+    return numeric_cost_r1(p.lambda, p.epoch_T, p.capacity_N, 0.9, 1.0);
+  };
+  for (const bool closed : {true, false}) {
+    const double lo = cost_at(0.7, closed);  // λT = 42 ≪ N: pre-knee
+    const double mid = cost_at(1.5, closed);
+    const double hi = cost_at(4.0, closed);  // λT = 240 = N: saturated
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    EXPECT_GT(hi, 20.0 * lo) << "blow-up missing, closed=" << closed;
+  }
+}
+
+}  // namespace
+}  // namespace scale::analysis

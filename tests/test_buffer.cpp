@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "proto/buffer.h"
+
+namespace scale::proto {
+namespace {
+
+TEST(ByteWriter, BigEndianEncoding) {
+  ByteWriter w;
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  const auto& d = w.data();
+  ASSERT_EQ(d.size(), 6u);
+  EXPECT_EQ(d[0], 0x12);
+  EXPECT_EQ(d[1], 0x34);
+  EXPECT_EQ(d[2], 0xDE);
+  EXPECT_EQ(d[5], 0xEF);
+}
+
+TEST(ByteRoundTrip, AllScalarTypes) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xCDEF);
+  w.u32(0x01234567);
+  w.u64(0x89ABCDEF01234567ull);
+  w.f64(3.14159);
+  w.boolean(true);
+  w.boolean(false);
+  w.str("hello");
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xCDEF);
+  EXPECT_EQ(r.u32(), 0x01234567u);
+  EXPECT_EQ(r.u64(), 0x89ABCDEF01234567ull);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(ByteRoundTrip, NegativeAndSpecialDoubles) {
+  ByteWriter w;
+  w.f64(-0.0);
+  w.f64(1e308);
+  w.f64(-12345.6789);
+  ByteReader r(w.data());
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e308);
+  EXPECT_DOUBLE_EQ(r.f64(), -12345.6789);
+}
+
+TEST(ByteReader, TruncationThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.data());
+  EXPECT_NO_THROW(r.u8());
+  EXPECT_THROW(r.u32(), CodecError);
+}
+
+TEST(ByteReader, BadBooleanThrows) {
+  const std::uint8_t bytes[] = {2};
+  ByteReader r(bytes);
+  EXPECT_THROW(r.boolean(), CodecError);
+}
+
+TEST(ByteReader, TrailingBytesDetected) {
+  ByteWriter w;
+  w.u32(1);
+  ByteReader r(w.data());
+  r.u16();
+  EXPECT_THROW(r.expect_end(), CodecError);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(ByteReader, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u16(100);  // claims 100 bytes follow
+  ByteReader r(w.data());
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(ByteReader, BytesExtraction) {
+  ByteWriter w;
+  const std::uint8_t payload[] = {1, 2, 3, 4};
+  w.bytes(payload);
+  ByteReader r(w.data());
+  const auto out = r.bytes(4);
+  EXPECT_EQ(out, std::vector<std::uint8_t>({1, 2, 3, 4}));
+}
+
+TEST(ByteWriter, OptionalHelper) {
+  ByteWriter w;
+  std::optional<std::uint32_t> some = 42, none;
+  w.optional(some, &ByteWriter::u32);
+  w.optional(none, &ByteWriter::u32);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.optional(&ByteReader::u32), std::optional<std::uint32_t>(42));
+  EXPECT_EQ(r.optional(&ByteReader::u32), std::nullopt);
+}
+
+TEST(ByteWriter, EmptyString) {
+  ByteWriter w;
+  w.str("");
+  ByteReader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace scale::proto

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "epc/ue_context.h"
+
+namespace scale::epc {
+namespace {
+
+proto::UeContextRecord rec_for(std::uint32_t tmsi, proto::Imsi imsi,
+                               std::uint32_t bytes = 2048) {
+  proto::UeContextRecord rec;
+  rec.guti = proto::Guti{1, 1, 1, tmsi};
+  rec.imsi = imsi;
+  rec.state_bytes = bytes;
+  return rec;
+}
+
+TEST(ContextStore, InsertFindErase) {
+  UeContextStore store;
+  auto& ctx = store.insert(rec_for(100, 1), ContextRole::kMaster);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(ctx.key()), &ctx);
+  EXPECT_TRUE(store.contains(ctx.key()));
+  store.erase(ctx.key());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.find(proto::Guti{1, 1, 1, 100}.key()), nullptr);
+}
+
+TEST(ContextStore, DuplicateInsertRejected) {
+  UeContextStore store;
+  store.insert(rec_for(100, 1), ContextRole::kMaster);
+  EXPECT_THROW(store.insert(rec_for(100, 2), ContextRole::kMaster),
+               scale::CheckError);
+}
+
+TEST(ContextStore, EraseUnknownRejected) {
+  UeContextStore store;
+  EXPECT_THROW(store.erase(42), scale::CheckError);
+}
+
+TEST(ContextStore, SecondaryIndices) {
+  UeContextStore store;
+  auto rec = rec_for(100, 777);
+  rec.mme_teid = proto::Teid::make(2, 5);
+  rec.mme_ue_id = proto::MmeUeId::make(2, 9);
+  auto& ctx = store.insert(rec, ContextRole::kMaster);
+
+  EXPECT_EQ(store.find_by_imsi(777), &ctx);
+  EXPECT_EQ(store.find_by_teid(proto::Teid::make(2, 5)), &ctx);
+  EXPECT_EQ(store.find_by_mme_ue_id(proto::MmeUeId::make(2, 9)), &ctx);
+  EXPECT_EQ(store.find_by_imsi(1), nullptr);
+
+  // Re-index after the MME assigns new identifiers.
+  ctx.rec.mme_teid = proto::Teid::make(3, 6);
+  store.index_teid(ctx);
+  EXPECT_EQ(store.find_by_teid(proto::Teid::make(3, 6)), &ctx);
+
+  store.erase(ctx.key());
+  EXPECT_EQ(store.find_by_imsi(777), nullptr);
+  EXPECT_EQ(store.find_by_teid(proto::Teid::make(3, 6)), nullptr);
+}
+
+TEST(ContextStore, MemoryAccountingByRole) {
+  UeContextStore store;
+  store.insert(rec_for(1, 1, 1000), ContextRole::kMaster);
+  store.insert(rec_for(2, 2, 2000), ContextRole::kReplica);
+  store.insert(rec_for(3, 3, 4000), ContextRole::kExternal);
+
+  EXPECT_EQ(store.total_bytes(), 7000u);
+  EXPECT_EQ(store.bytes(ContextRole::kMaster), 1000u);
+  EXPECT_EQ(store.bytes(ContextRole::kReplica), 2000u);
+  EXPECT_EQ(store.bytes(ContextRole::kExternal), 4000u);
+  EXPECT_EQ(store.count(ContextRole::kMaster), 1u);
+
+  store.erase(proto::Guti{1, 1, 1, 2}.key());
+  EXPECT_EQ(store.total_bytes(), 5000u);
+  EXPECT_EQ(store.bytes(ContextRole::kReplica), 0u);
+}
+
+TEST(ContextStore, SetRoleMovesAccounting) {
+  UeContextStore store;
+  auto& ctx = store.insert(rec_for(1, 1, 1000), ContextRole::kMaster);
+  store.set_role(ctx, ContextRole::kReplica);
+  EXPECT_EQ(ctx.role, ContextRole::kReplica);
+  EXPECT_EQ(store.bytes(ContextRole::kMaster), 0u);
+  EXPECT_EQ(store.bytes(ContextRole::kReplica), 1000u);
+  EXPECT_EQ(store.count(ContextRole::kReplica), 1u);
+  // No-op role change keeps accounting intact.
+  store.set_role(ctx, ContextRole::kReplica);
+  EXPECT_EQ(store.bytes(ContextRole::kReplica), 1000u);
+}
+
+TEST(ContextStore, RekeyPreservesContextUnderNewGuti) {
+  UeContextStore store;
+  auto& ctx = store.insert(rec_for(100, 42), ContextRole::kMaster);
+  const std::uint64_t old_key = ctx.key();
+  const proto::Guti fresh{1, 1, 9, 555};
+  auto& moved = store.rekey(old_key, fresh);
+  EXPECT_EQ(&moved, &ctx);
+  EXPECT_EQ(moved.rec.guti, fresh);
+  EXPECT_EQ(store.find(old_key), nullptr);
+  EXPECT_EQ(store.find(fresh.key()), &moved);
+  // IMSI index still resolves.
+  EXPECT_EQ(store.find_by_imsi(42), &moved);
+}
+
+TEST(ContextStore, RekeyCollisionRejected) {
+  UeContextStore store;
+  store.insert(rec_for(1, 1), ContextRole::kMaster);
+  auto& b = store.insert(rec_for(2, 2), ContextRole::kMaster);
+  EXPECT_THROW(store.rekey(b.key(), proto::Guti{1, 1, 1, 1}),
+               scale::CheckError);
+}
+
+TEST(ContextStore, ForEachAndKeysIf) {
+  UeContextStore store;
+  for (std::uint32_t i = 1; i <= 10; ++i)
+    store.insert(rec_for(i, i), i % 2 ? ContextRole::kMaster
+                                      : ContextRole::kReplica);
+  std::size_t visited = 0;
+  store.for_each([&](UeContext&) { ++visited; });
+  EXPECT_EQ(visited, 10u);
+  const auto masters = store.keys_if(
+      [](const UeContext& c) { return c.role == ContextRole::kMaster; });
+  EXPECT_EQ(masters.size(), 5u);
+}
+
+}  // namespace
+}  // namespace scale::epc

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "sim/cpu.h"
+#include "sim/engine.h"
+
+namespace scale::sim {
+namespace {
+
+TEST(CpuModel, SingleJobCompletesAfterServiceTime) {
+  Engine eng;
+  CpuModel cpu(eng);
+  Time done = Time::zero();
+  cpu.execute(Duration::us(100), [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_EQ(done, Time::from_us(100));
+  EXPECT_EQ(cpu.completed_jobs(), 1u);
+}
+
+TEST(CpuModel, FifoQueueingAccumulatesDelay) {
+  Engine eng;
+  CpuModel cpu(eng);
+  std::vector<Time> done;
+  for (int i = 0; i < 3; ++i)
+    cpu.execute(Duration::us(100), [&] { done.push_back(eng.now()); });
+  eng.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], Time::from_us(100));
+  EXPECT_EQ(done[1], Time::from_us(200));
+  EXPECT_EQ(done[2], Time::from_us(300));
+}
+
+TEST(CpuModel, SpeedFactorScalesServiceTime) {
+  Engine eng;
+  CpuModel fast(eng, 2.0);
+  Time done = Time::zero();
+  fast.execute(Duration::us(100), [&] { done = eng.now(); });
+  eng.run();
+  EXPECT_EQ(done, Time::from_us(50));
+}
+
+TEST(CpuModel, BacklogReflectsQueuedWork) {
+  Engine eng;
+  CpuModel cpu(eng);
+  cpu.execute(Duration::us(300), nullptr);
+  cpu.execute(Duration::us(200), nullptr);
+  EXPECT_EQ(cpu.backlog(), Duration::us(500));
+  EXPECT_TRUE(cpu.busy());
+  eng.run_until(Time::from_us(400));
+  EXPECT_EQ(cpu.backlog(), Duration::us(100));
+  eng.run();
+  EXPECT_EQ(cpu.backlog(), Duration::zero());
+  EXPECT_FALSE(cpu.busy());
+}
+
+TEST(CpuModel, CumulativeBusyIsWorkConserving) {
+  Engine eng;
+  CpuModel cpu(eng);
+  cpu.execute(Duration::us(100), nullptr);
+  eng.run_until(Time::from_us(50));
+  EXPECT_EQ(cpu.cumulative_busy(), Duration::us(50));
+  // Idle gap, then more work.
+  eng.run_until(Time::from_us(500));
+  EXPECT_EQ(cpu.cumulative_busy(), Duration::us(100));
+  cpu.execute(Duration::us(100), nullptr);
+  eng.run();
+  EXPECT_EQ(cpu.cumulative_busy(), Duration::us(200));
+}
+
+TEST(CpuModel, WorkArrivingWhileBusyQueuesBehind) {
+  Engine eng;
+  CpuModel cpu(eng);
+  Time done2 = Time::zero();
+  cpu.execute(Duration::us(100), nullptr);
+  eng.at(Time::from_us(50), [&] {
+    cpu.execute(Duration::us(100), [&] { done2 = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(done2, Time::from_us(200));  // waits for the first job
+}
+
+TEST(CpuModel, OverloadGrowsDelayUnboundedly) {
+  // Offered load 2×: the k-th completion is delayed ~k·service/2 — the
+  // queueing blow-up of Fig. 2(a).
+  Engine eng;
+  CpuModel cpu(eng);
+  std::vector<Duration> delays;
+  for (int i = 0; i < 100; ++i) {
+    const Time arrival = Time::from_us(i * 50);
+    eng.at(arrival, [&, arrival] {
+      cpu.execute(Duration::us(100),
+                  [&, arrival] { delays.push_back(eng.now() - arrival); });
+    });
+  }
+  eng.run();
+  ASSERT_EQ(delays.size(), 100u);
+  EXPECT_GT(delays.back(), delays.front() * 20);
+}
+
+TEST(CpuModel, ZeroWorkCompletesImmediately) {
+  Engine eng;
+  CpuModel cpu(eng);
+  bool fired = false;
+  cpu.execute(Duration::zero(), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.now(), Time::zero());
+}
+
+TEST(CpuModel, NegativeWorkRejected) {
+  Engine eng;
+  CpuModel cpu(eng);
+  EXPECT_THROW(cpu.execute(Duration::us(-5), nullptr), scale::CheckError);
+}
+
+}  // namespace
+}  // namespace scale::sim

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace scale::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(Time::from_us(300), [&] { order.push_back(3); });
+  eng.at(Time::from_us(100), [&] { order.push_back(1); });
+  eng.at(Time::from_us(200), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::from_us(300));
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.at(Time::from_us(50), [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, AfterIsRelative) {
+  Engine eng;
+  Time fired = Time::zero();
+  eng.at(Time::from_us(100), [&] {
+    eng.after(Duration::us(50), [&] { fired = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(fired, Time::from_us(150));
+}
+
+TEST(Engine, SchedulingIntoThePastRejected) {
+  Engine eng;
+  eng.at(Time::from_us(100), [] {});
+  eng.run();
+  EXPECT_THROW(eng.at(Time::from_us(50), [] {}), scale::CheckError);
+}
+
+TEST(Engine, NegativeDelayRejected) {
+  Engine eng;
+  EXPECT_THROW(eng.after(Duration::us(-1), [] {}), scale::CheckError);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.at(Time::from_us(10), [&] { fired = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  eng.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelTwiceReturnsFalse) {
+  Engine eng;
+  const EventId id = eng.at(Time::from_us(10), [] {});
+  EXPECT_TRUE(eng.cancel(id));
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine eng;
+  EXPECT_FALSE(eng.cancel(999));
+}
+
+TEST(Engine, RunUntilAdvancesClockExactly) {
+  Engine eng;
+  int fired = 0;
+  eng.at(Time::from_us(100), [&] { ++fired; });
+  eng.at(Time::from_us(900), [&] { ++fired; });
+  eng.run_until(Time::from_us(500));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), Time::from_us(500));
+  eng.run_until(Time::from_us(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunLimitStopsEarly) {
+  Engine eng;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    eng.at(Time::from_us(i * 10), [&] { ++fired; });
+  eng.run(3);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 100) eng.after(Duration::us(1), chain);
+  };
+  eng.after(Duration::us(1), chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(eng.now(), Time::from_us(100));
+  EXPECT_EQ(eng.events_processed(), 100u);
+}
+
+TEST(Engine, IdleAfterDrain) {
+  Engine eng;
+  eng.at(Time::from_us(5), [] {});
+  EXPECT_FALSE(eng.idle());
+  eng.run();
+  EXPECT_TRUE(eng.idle());
+}
+
+TEST(Engine, CancelledEventDoesNotAdvanceClockInRunUntil) {
+  Engine eng;
+  const EventId id = eng.at(Time::from_us(100), [] {});
+  eng.cancel(id);
+  eng.run_until(Time::from_us(200));
+  EXPECT_EQ(eng.now(), Time::from_us(200));
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace scale::sim

@@ -1,0 +1,110 @@
+// Multiple MLB VMs fronting one pool (Figure 4): eNodeBs spread requests
+// across them; all share ring membership; GUTI spaces are disjoint.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cluster.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+
+namespace scale {
+namespace {
+
+using testbed::Testbed;
+
+struct MultiMlbWorld {
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<core::ScaleCluster> cluster;
+
+  explicit MultiMlbWorld(std::size_t mlbs) {
+    site = &tb.add_site(2);
+    core::ScaleCluster::Config cfg;
+    cfg.initial_mlbs = mlbs;
+    cfg.initial_mmps = 3;
+    cluster = std::make_unique<core::ScaleCluster>(
+        tb.fabric(), site->sgw->node(), tb.hss().node(), cfg);
+    for (auto& enb : site->enbs) cluster->connect_enb(*enb);
+  }
+};
+
+TEST(MultiMlb, BothMlbsCarryTraffic) {
+  MultiMlbWorld w(2);
+  w.tb.make_ues(*w.site, 120, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(4.0), Duration::sec(8.0));
+  for (auto& mlb : w.cluster->mlbs())
+    EXPECT_GT(mlb->initial_routed(), 20u)
+        << "eNodeBs must spread across the MLB VMs";
+}
+
+TEST(MultiMlb, GutiSpacesAreDisjoint) {
+  MultiMlbWorld w(2);
+  auto ues = w.tb.make_ues(*w.site, 200, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(4.0), Duration::sec(8.0));
+  std::set<std::uint32_t> tmsis;
+  std::size_t registered = 0;
+  for (epc::Ue* ue : ues) {
+    if (!ue->registered()) continue;
+    ++registered;
+    EXPECT_TRUE(tmsis.insert(ue->guti()->m_tmsi).second)
+        << "duplicate M-TMSI across MLB VMs";
+  }
+  EXPECT_GT(registered, 190u);
+}
+
+TEST(MultiMlb, FullProcedureSuiteAcrossFrontEnds) {
+  MultiMlbWorld w(3);
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.9);
+  ASSERT_TRUE(ue.attach());
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.connected());
+  ASSERT_TRUE(ue.handover(w.site->enb(1)));
+  w.tb.run_for(Duration::sec(1.0));
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kHandover), 1u);
+  w.tb.run_for(Duration::sec(7.0));
+  ASSERT_TRUE(ue.service_request());
+  w.tb.run_for(Duration::sec(1.0));
+  EXPECT_TRUE(ue.connected());
+  EXPECT_EQ(w.tb.failures(), 0u);
+}
+
+TEST(MultiMlb, RingUpdatesReachEveryFrontEnd) {
+  MultiMlbWorld w(2);
+  w.tb.make_ues(*w.site, 40, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(3.0), Duration::sec(6.0));
+  w.cluster->add_mmp();
+  for (auto& mlb : w.cluster->mlbs())
+    EXPECT_EQ(mlb->ring().node_count(), 4u);
+
+  // Devices remain servable through either front end after the change.
+  std::size_t ok = 0;
+  for (auto& ue : w.site->ues)
+    if (ue->registered() && !ue->connected() && ue->service_request()) ++ok;
+  w.tb.run_for(Duration::sec(3.0));
+  std::size_t connected = 0;
+  for (auto& ue : w.site->ues)
+    if (ue->connected()) ++connected;
+  EXPECT_GE(connected, ok * 9 / 10);
+}
+
+TEST(MultiMlb, LoadSharesRoughlyEvenly) {
+  MultiMlbWorld w(2);
+  auto ues = w.tb.make_ues(*w.site, 400, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(5.0), Duration::sec(8.0));
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = 300.0;
+  workload::OpenLoopDriver driver(w.tb.engine(), ues, drv);
+  driver.start(w.tb.engine().now() + Duration::sec(8.0));
+  w.tb.run_for(Duration::sec(10.0));
+
+  const double a =
+      static_cast<double>(w.cluster->mlbs()[0]->initial_routed());
+  const double b =
+      static_cast<double>(w.cluster->mlbs()[1]->initial_routed());
+  EXPECT_GT(a / (a + b), 0.35);
+  EXPECT_LT(a / (a + b), 0.65);
+}
+
+}  // namespace
+}  // namespace scale

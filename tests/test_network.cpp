@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "sim/network.h"
+
+namespace scale::sim {
+namespace {
+
+TEST(Network, DefaultLatencyApplies) {
+  Network net(Duration::us(500));
+  EXPECT_EQ(net.delay(1, 2), Duration::us(500));
+}
+
+TEST(Network, PairOverrideSymmetric) {
+  Network net(Duration::us(500));
+  net.set_latency(1, 2, Duration::ms(3.0));
+  EXPECT_EQ(net.delay(1, 2), Duration::ms(3.0));
+  EXPECT_EQ(net.delay(2, 1), Duration::ms(3.0));
+  EXPECT_EQ(net.delay(1, 3), Duration::us(500));
+}
+
+TEST(Network, PairOverrideAsymmetric) {
+  Network net(Duration::us(500));
+  net.set_latency(1, 2, Duration::ms(3.0), /*symmetric=*/false);
+  EXPECT_EQ(net.delay(1, 2), Duration::ms(3.0));
+  EXPECT_EQ(net.delay(2, 1), Duration::us(500));
+}
+
+TEST(Network, DcLatencyMatrix) {
+  Network net(Duration::us(500));
+  net.set_node_dc(10, 1);
+  net.set_node_dc(20, 2);
+  net.set_node_dc(30, 1);
+  net.set_dc_latency(1, 2, Duration::ms(20.0));
+  // Cross-DC pair without explicit override: DC matrix.
+  EXPECT_EQ(net.delay(10, 20), Duration::ms(20.0));
+  EXPECT_EQ(net.delay(20, 10), Duration::ms(20.0));
+  // Same-DC pair: default.
+  EXPECT_EQ(net.delay(10, 30), Duration::us(500));
+  // Pair override beats the DC matrix.
+  net.set_latency(10, 20, Duration::ms(1.0));
+  EXPECT_EQ(net.delay(10, 20), Duration::ms(1.0));
+}
+
+TEST(Network, UnknownNodeDefaultsToDcZero) {
+  Network net(Duration::us(500));
+  EXPECT_EQ(net.dc_of(42), 0u);
+  net.set_node_dc(42, 3);
+  EXPECT_EQ(net.dc_of(42), 3u);
+}
+
+TEST(Network, JitterBoundsDelay) {
+  Network net(Duration::us(1000));
+  net.set_jitter(0.2);
+  for (int i = 0; i < 2000; ++i) {
+    const Duration d = net.delay(1, 2);
+    EXPECT_GE(d, Duration::us(800));
+    EXPECT_LE(d, Duration::us(1200));
+  }
+}
+
+TEST(Network, JitterValidation) {
+  Network net;
+  EXPECT_THROW(net.set_jitter(-0.1), scale::CheckError);
+  EXPECT_THROW(net.set_jitter(1.0), scale::CheckError);
+}
+
+TEST(Network, TransferAccounting) {
+  Network net;
+  net.record_transfer(1, 2, 100);
+  net.record_transfer(1, 2, 50);
+  net.record_transfer(2, 1, 10);
+  EXPECT_EQ(net.messages_sent(), 3u);
+  EXPECT_EQ(net.bytes_sent(), 160u);
+  EXPECT_EQ(net.messages_between(1, 2), 2u);
+  EXPECT_EQ(net.messages_between(2, 1), 1u);
+  EXPECT_EQ(net.messages_between(3, 4), 0u);
+  net.reset_counters();
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_EQ(net.bytes_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace scale::sim

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "core/provisioner.h"
+
+namespace scale::core {
+namespace {
+
+Provisioner::Config base_cfg() {
+  Provisioner::Config cfg;
+  cfg.alpha = 0.5;
+  cfg.requests_per_vm_epoch = 1000;  // N
+  cfg.devices_per_vm = 10000;        // S
+  cfg.replicas = 2;                  // R
+  cfg.min_vms = 1;
+  cfg.max_vms = 100;
+  return cfg;
+}
+
+TEST(Provisioner, ComputeBoundDominatesUnderLoad) {
+  Provisioner p(base_cfg());
+  // 5000 requests, 1000 devices: V_C = 5, V_S = ceil(2*1000/10000) = 1.
+  const auto d = p.decide(5000, 1000);
+  EXPECT_EQ(d.compute_vms, 5u);
+  EXPECT_EQ(d.storage_vms, 1u);
+  EXPECT_EQ(d.vms, 5u);
+}
+
+TEST(Provisioner, StorageBoundDominatesWithManyDevices) {
+  Provisioner p(base_cfg());
+  // 100 requests but 200k registered devices: V_S = ceil(2*200k/10k) = 40.
+  const auto d = p.decide(100, 200000);
+  EXPECT_EQ(d.storage_vms, 40u);
+  EXPECT_EQ(d.vms, 40u);
+}
+
+TEST(Provisioner, EwmaSmoothsLoadEstimate) {
+  Provisioner p(base_cfg());
+  p.decide(1000, 0);  // primes L̄ = 1000
+  const auto d = p.decide(3000, 0);
+  // L̄ = 0.5*3000 + 0.5*1000 = 2000 → V_C = 2.
+  EXPECT_DOUBLE_EQ(d.load_estimate, 2000.0);
+  EXPECT_EQ(d.compute_vms, 2u);
+}
+
+TEST(Provisioner, BetaScalesStorageTerm) {
+  Provisioner p(base_cfg());
+  p.set_beta(0.75);
+  const auto d = p.decide(0, 200000);
+  // ceil(0.75 * 2 * 200k / 10k) = 30 instead of 40 — the Fig. 11(a) saving.
+  EXPECT_EQ(d.storage_vms, 30u);
+  EXPECT_DOUBLE_EQ(d.beta, 0.75);
+}
+
+TEST(Provisioner, ClampsToMinMax) {
+  auto cfg = base_cfg();
+  cfg.min_vms = 3;
+  cfg.max_vms = 10;
+  Provisioner p(cfg);
+  EXPECT_EQ(p.decide(0, 0).vms, 3u);
+  EXPECT_EQ(p.decide(1000000, 0).vms, 10u);
+}
+
+TEST(Provisioner, BetaForMatchesEq2) {
+  // β(x) = 1 − (K̂(x) − Sn − Sm)/(R·K)
+  const double beta = Provisioner::beta_for(/*k_hat=*/50000, /*s_new=*/5000,
+                                            /*s_ext=*/5000, /*R=*/2,
+                                            /*K=*/100000);
+  EXPECT_DOUBLE_EQ(beta, 1.0 - 40000.0 / 200000.0);
+}
+
+TEST(Provisioner, BetaForNoReclaimableMemoryIsOne) {
+  EXPECT_DOUBLE_EQ(Provisioner::beta_for(1000, 2000, 2000, 2, 100000), 1.0);
+  EXPECT_DOUBLE_EQ(Provisioner::beta_for(0, 0, 0, 2, 100000), 1.0);
+  EXPECT_DOUBLE_EQ(Provisioner::beta_for(0, 0, 0, 2, 0), 1.0);
+}
+
+TEST(Provisioner, BetaDecreasesWithMoreLowAccessDevices) {
+  // Fig. 11(a): as the low-probability population grows, β shrinks and so
+  // does the VM count.
+  double prev_beta = 1.0;
+  std::uint32_t prev_vms = UINT32_MAX;
+  for (std::uint64_t k_hat : {10000u, 30000u, 50000u, 70000u}) {
+    const double beta =
+        Provisioner::beta_for(k_hat, 5000, 0, 2, 100000);
+    EXPECT_LE(beta, prev_beta);
+    prev_beta = beta;
+    Provisioner p(base_cfg());
+    p.set_beta(beta);
+    const auto d = p.decide(0, 100000);
+    EXPECT_LE(d.vms, prev_vms);
+    prev_vms = d.vms;
+  }
+}
+
+TEST(Provisioner, InvalidBetaRejected) {
+  Provisioner p(base_cfg());
+  EXPECT_THROW(p.set_beta(0.0), scale::CheckError);
+  EXPECT_THROW(p.set_beta(1.5), scale::CheckError);
+}
+
+}  // namespace
+}  // namespace scale::core

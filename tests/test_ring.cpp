@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <map>
+#include <set>
+
+#include "hash/ring.h"
+
+namespace scale::hash {
+namespace {
+
+ConsistentHashRing make_ring(unsigned tokens, std::initializer_list<RingNodeId> nodes) {
+  ConsistentHashRing ring(ConsistentHashRing::Config{tokens, true});
+  for (RingNodeId n : nodes) ring.add_node(n);
+  return ring;
+}
+
+TEST(Ring, EmptyRingRejectsLookups) {
+  ConsistentHashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW(ring.owner(1), scale::CheckError);
+  EXPECT_THROW(ring.preference_list(1, 2), scale::CheckError);
+}
+
+TEST(Ring, AddRemoveMembership) {
+  auto ring = make_ring(5, {1, 2, 3});
+  EXPECT_EQ(ring.node_count(), 3u);
+  EXPECT_EQ(ring.token_count(), 15u);
+  EXPECT_TRUE(ring.contains(2));
+  ring.remove_node(2);
+  EXPECT_FALSE(ring.contains(2));
+  EXPECT_EQ(ring.token_count(), 10u);
+}
+
+TEST(Ring, DuplicateAddRejected) {
+  auto ring = make_ring(5, {1});
+  EXPECT_THROW(ring.add_node(1), scale::CheckError);
+}
+
+TEST(Ring, RemoveUnknownRejected) {
+  auto ring = make_ring(5, {1});
+  EXPECT_THROW(ring.remove_node(9), scale::CheckError);
+}
+
+TEST(Ring, OwnerIsDeterministic) {
+  auto a = make_ring(5, {1, 2, 3, 4});
+  auto b = make_ring(5, {4, 3, 2, 1});  // insertion order must not matter
+  for (std::uint64_t key = 0; key < 2000; ++key)
+    EXPECT_EQ(a.owner(key), b.owner(key));
+}
+
+TEST(Ring, PreferenceListDistinctAndStartsAtOwner) {
+  auto ring = make_ring(5, {10, 20, 30, 40, 50});
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    const auto prefs = ring.preference_list(key, 3);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_EQ(prefs[0], ring.owner(key));
+    std::set<RingNodeId> uniq(prefs.begin(), prefs.end());
+    EXPECT_EQ(uniq.size(), 3u);
+  }
+}
+
+TEST(Ring, PreferenceListCappedByNodeCount) {
+  auto ring = make_ring(5, {1, 2});
+  const auto prefs = ring.preference_list(7, 10);
+  EXPECT_EQ(prefs.size(), 2u);
+}
+
+TEST(Ring, ReplicaOfSingleNodeIsNull) {
+  auto ring = make_ring(5, {1});
+  EXPECT_FALSE(ring.replica_of(123).has_value());
+}
+
+TEST(Ring, ReplicaDiffersFromOwner) {
+  auto ring = make_ring(5, {1, 2, 3});
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    const auto rep = ring.replica_of(key);
+    ASSERT_TRUE(rep.has_value());
+    EXPECT_NE(*rep, ring.owner(key));
+  }
+}
+
+TEST(Ring, NodeRemovalOnlyMovesItsKeys) {
+  // The consistent-hashing contract (§4.3.1): removing a VM only remaps
+  // the keys it owned; every other key keeps its owner.
+  auto ring = make_ring(5, {1, 2, 3, 4, 5, 6});
+  std::map<std::uint64_t, RingNodeId> before;
+  for (std::uint64_t key = 0; key < 5000; ++key) before[key] = ring.owner(key);
+  ring.remove_node(3);
+  for (const auto& [key, owner] : before) {
+    if (owner == 3) {
+      EXPECT_NE(ring.owner(key), 3u);
+    } else {
+      EXPECT_EQ(ring.owner(key), owner) << "key " << key << " moved needlessly";
+    }
+  }
+}
+
+TEST(Ring, NodeAdditionOnlyStealsKeys) {
+  auto ring = make_ring(5, {1, 2, 3, 4, 5});
+  std::map<std::uint64_t, RingNodeId> before;
+  for (std::uint64_t key = 0; key < 5000; ++key) before[key] = ring.owner(key);
+  ring.add_node(99);
+  std::size_t moved = 0;
+  for (const auto& [key, owner] : before) {
+    const RingNodeId now = ring.owner(key);
+    if (now != owner) {
+      EXPECT_EQ(now, 99u) << "key moved to a node other than the new one";
+      ++moved;
+    }
+  }
+  // New node takes roughly 1/6 of the space.
+  EXPECT_GT(moved, 5000 / 6 / 3);
+  EXPECT_LT(moved, 5000 / 2);
+}
+
+TEST(Ring, TokensImproveBalanceOverTokenless) {
+  // Fig. 10(a)'s "basic consistent hashing" baseline: 1 token per node
+  // yields much worse balance than 5+ tokens.
+  auto balance_spread = [](unsigned tokens) {
+    ConsistentHashRing ring(ConsistentHashRing::Config{tokens, true});
+    for (RingNodeId n = 1; n <= 10; ++n) ring.add_node(n);
+    std::map<RingNodeId, std::size_t> counts;
+    for (std::uint64_t key = 0; key < 40000; ++key) ++counts[ring.owner(key)];
+    std::size_t min_c = SIZE_MAX, max_c = 0;
+    for (const auto& [n, c] : counts) {
+      min_c = std::min(min_c, c);
+      max_c = std::max(max_c, c);
+    }
+    return static_cast<double>(max_c) / static_cast<double>(std::max<std::size_t>(1, min_c));
+  };
+  EXPECT_LT(balance_spread(32), balance_spread(1));
+}
+
+TEST(Ring, OwnershipFractionsSumToOne) {
+  auto ring = make_ring(7, {1, 2, 3, 4});
+  double total = 0.0;
+  for (RingNodeId n : ring.nodes()) total += ring.ownership_fraction(n);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Ring, OwnershipFractionMatchesEmpiricalShare) {
+  auto ring = make_ring(16, {1, 2, 3});
+  std::map<RingNodeId, std::size_t> counts;
+  const std::uint64_t n_keys = 60000;
+  for (std::uint64_t key = 0; key < n_keys; ++key) ++counts[ring.owner(key)];
+  for (RingNodeId n : ring.nodes()) {
+    const double empirical =
+        static_cast<double>(counts[n]) / static_cast<double>(n_keys);
+    EXPECT_NEAR(ring.ownership_fraction(n), empirical, 0.02);
+  }
+}
+
+TEST(Ring, FnvModeWorks) {
+  ConsistentHashRing ring(ConsistentHashRing::Config{5, false});
+  ring.add_node(1);
+  ring.add_node(2);
+  EXPECT_NO_THROW(ring.owner(42));
+  EXPECT_EQ(ring.preference_list(42, 2).size(), 2u);
+}
+
+class RingTokenSweep : public ::testing::TestWithParam<unsigned> {};
+
+// Property sweep: for any token count, preference lists are duplicate-free
+// prefixes of ring order and owners are stable across rebuilds.
+TEST_P(RingTokenSweep, PreferenceListInvariants) {
+  const unsigned tokens = GetParam();
+  ConsistentHashRing ring(ConsistentHashRing::Config{tokens, true});
+  for (RingNodeId n = 1; n <= 8; ++n) ring.add_node(n);
+  for (std::uint64_t key = 1; key < 400; key += 7) {
+    const auto prefs = ring.preference_list(key, 4);
+    ASSERT_EQ(prefs.size(), 4u);
+    std::set<RingNodeId> uniq(prefs.begin(), prefs.end());
+    EXPECT_EQ(uniq.size(), prefs.size());
+    EXPECT_EQ(prefs[0], ring.owner(key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TokenCounts, RingTokenSweep,
+                         ::testing::Values(1u, 2u, 5u, 16u, 64u));
+
+}  // namespace
+}  // namespace scale::hash

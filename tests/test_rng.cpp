@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace scale {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(11);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, PoissonMeanSmall) {
+  Rng rng(13);
+  const double mean = 3.5;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 0.05);
+}
+
+TEST(Rng, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(13);
+  const double mean = 500.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ZipfRanksWithinRange) {
+  Rng rng(19);
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = rng.zipf(100, 1.1);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(Rng, ZipfRankOneMostFrequent) {
+  Rng rng(23);
+  std::vector<int> counts(11, 0);
+  for (int i = 0; i < 50000; ++i) counts[rng.zipf(10, 1.2)]++;
+  for (int r = 2; r <= 10; ++r) EXPECT_GT(counts[1], counts[r]);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatches) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.weighted_index(weights)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(41);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), CheckError);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ParetoAboveScale) {
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+}  // namespace
+}  // namespace scale

@@ -1,0 +1,89 @@
+// Workload scenario helpers: skewed splits and diurnal profiles.
+#include <gtest/gtest.h>
+
+#include "mme/pool.h"
+#include "testbed/testbed.h"
+#include "workload/scenarios.h"
+
+namespace scale::workload {
+namespace {
+
+using testbed::Testbed;
+
+struct World {
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<mme::MmePool> pool;
+
+  World() {
+    site = &tb.add_site(1);
+    mme::MmePool::Config cfg;
+    cfg.node_template.sgw = site->sgw->node();
+    cfg.node_template.hss = tb.hss().node();
+    cfg.initial_count = 1;
+    pool = std::make_unique<mme::MmePool>(tb.fabric(), cfg);
+    pool->connect_enb(site->enb(0));
+  }
+};
+
+TEST(Scenarios, SkewedSplitConservesTotalRate) {
+  World w;
+  w.tb.make_ues(*w.site, 100, {0.5});
+  const auto devices = w.site->ue_ptrs();
+  std::size_t idx = 0;
+  const auto split = make_skewed_split(
+      devices, 1000.0, 4.0, [&idx](const epc::Ue&) { return idx++ < 25; });
+
+  EXPECT_EQ(split.hot.size(), 25u);
+  EXPECT_EQ(split.cold.size(), 75u);
+  EXPECT_NEAR(split.hot_rate_per_sec + split.cold_rate_per_sec, 1000.0,
+              1e-9);
+  // A hot device's share is exactly 4x a cold one's.
+  const double hot_per = split.hot_rate_per_sec / 25.0;
+  const double cold_per = split.cold_rate_per_sec / 75.0;
+  EXPECT_NEAR(hot_per / cold_per, 4.0, 1e-9);
+}
+
+TEST(Scenarios, SkewBoostOneIsUniform) {
+  World w;
+  w.tb.make_ues(*w.site, 40, {0.5});
+  std::size_t idx = 0;
+  const auto split = make_skewed_split(
+      w.site->ue_ptrs(), 400.0, 1.0,
+      [&idx](const epc::Ue&) { return idx++ % 2 == 0; });
+  EXPECT_NEAR(split.hot_rate_per_sec, split.cold_rate_per_sec, 1e-9);
+}
+
+TEST(Scenarios, SkewAllHotDegenerates) {
+  World w;
+  w.tb.make_ues(*w.site, 10, {0.5});
+  const auto split = make_skewed_split(w.site->ue_ptrs(), 100.0, 6.0,
+                                       [](const epc::Ue&) { return true; });
+  EXPECT_EQ(split.cold.size(), 0u);
+  EXPECT_NEAR(split.hot_rate_per_sec, 100.0, 1e-9);
+  EXPECT_NEAR(split.cold_rate_per_sec, 0.0, 1e-9);
+}
+
+TEST(Scenarios, SkewLevelsAreIncreasing) {
+  const auto& levels = skew_levels();
+  ASSERT_EQ(levels.size(), 4u);
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    EXPECT_GT(levels[i], levels[i - 1]);
+}
+
+TEST(Scenarios, DiurnalProfileShape) {
+  const DiurnalProfile p(100.0, 900.0, Duration::sec(360.0));
+  EXPECT_NEAR(p.rate_at(Duration::zero()), 100.0, 1e-6);          // trough
+  EXPECT_NEAR(p.rate_at(Duration::sec(180.0)), 900.0, 1e-6);      // peak
+  EXPECT_NEAR(p.rate_at(Duration::sec(360.0)), 100.0, 1e-6);      // period
+  EXPECT_NEAR(p.rate_at(Duration::sec(90.0)), 500.0, 1e-6);       // midpoint
+  // Always within [low, high].
+  for (int s = 0; s < 720; s += 7) {
+    const double r = p.rate_at(Duration::sec(static_cast<double>(s)));
+    EXPECT_GE(r, 100.0 - 1e-9);
+    EXPECT_LE(r, 900.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace scale::workload

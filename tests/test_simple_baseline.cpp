@@ -1,0 +1,110 @@
+// SIMPLE baseline (E3): per-device routing table at the LB, round-robin
+// assignment, whole-VM pairwise replication to one buddy.
+#include <gtest/gtest.h>
+
+#include "mme/simple.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+
+namespace scale {
+namespace {
+
+using testbed::Testbed;
+
+struct SimpleWorld {
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<mme::SimpleLb> lb;
+  std::vector<std::unique_ptr<mme::SimpleVm>> vms;
+
+  explicit SimpleWorld(std::size_t vm_count) {
+    site = &tb.add_site(1);
+    mme::SimpleLb::Config lb_cfg;
+    lb = std::make_unique<mme::SimpleLb>(tb.fabric(), lb_cfg);
+    for (std::size_t i = 0; i < vm_count; ++i) {
+      mme::ClusterVm::Config vm_cfg;
+      vm_cfg.sgw = site->sgw->node();
+      vm_cfg.hss = tb.hss().node();
+      vm_cfg.app.assign_guti_locally = false;
+      vm_cfg.app.mme_code = lb_cfg.mme_code;
+      vm_cfg.app.vm_code = static_cast<std::uint8_t>(i + 1);
+      vms.push_back(std::make_unique<mme::SimpleVm>(tb.fabric(), vm_cfg));
+      lb->add_vm(*vms.back());
+    }
+    site->enb(0).add_mme(lb->node(), lb_cfg.mme_code, 1.0);
+  }
+};
+
+TEST(SimpleBaseline, AttachThroughLbCompletes) {
+  SimpleWorld w(3);
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  EXPECT_TRUE(ue.attach());
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_TRUE(ue.registered());
+  EXPECT_TRUE(ue.connected());
+  EXPECT_EQ(w.lb->routing_table_size(), 1u);
+}
+
+TEST(SimpleBaseline, RoundRobinSpreadsDevicesUniformly) {
+  SimpleWorld w(3);
+  w.tb.make_ues(*w.site, 90, {0.5});
+  w.tb.register_all(*w.site, Duration::sec(4.0), Duration::sec(6.0));
+
+  // ~30 masters per VM (round robin), modulo re-attach retries.
+  for (auto& vm : w.vms) {
+    const auto masters = vm->app().store().count(epc::ContextRole::kMaster);
+    EXPECT_NEAR(static_cast<double>(masters), 30.0, 8.0);
+  }
+  EXPECT_EQ(w.lb->routing_table_size(), 90u);
+}
+
+TEST(SimpleBaseline, EveryContextReplicatedToBuddyOnly) {
+  SimpleWorld w(3);
+  w.tb.make_ues(*w.site, 30, {0.5});
+  w.tb.register_all(*w.site, Duration::sec(3.0), Duration::sec(10.0));
+
+  // Pairwise replication: VM v's masters appear as replicas ONLY at v+1.
+  for (std::size_t v = 0; v < w.vms.size(); ++v) {
+    auto& vm = *w.vms[v];
+    auto& buddy = *w.vms[(v + 1) % w.vms.size()];
+    auto& other = *w.vms[(v + 2) % w.vms.size()];
+    const auto master_keys = vm.app().store().keys_if(
+        [](const mme::UeContext& c) {
+          return c.role == epc::ContextRole::kMaster;
+        });
+    ASSERT_FALSE(master_keys.empty());
+    for (std::uint64_t key : master_keys) {
+      EXPECT_TRUE(buddy.app().store().contains(key))
+          << "master of VM" << v << " missing at buddy";
+      EXPECT_FALSE(other.app().store().contains(key))
+          << "SIMPLE must not spread replicas beyond the buddy";
+    }
+  }
+}
+
+TEST(SimpleBaseline, RoutingTableGrowsWithPopulation) {
+  // The scalability liability SCALE removes: one LB entry per device.
+  SimpleWorld w(2);
+  w.tb.make_ues(*w.site, 50, {0.5});
+  w.tb.register_all(*w.site, Duration::sec(3.0), Duration::sec(5.0));
+  EXPECT_EQ(w.lb->routing_table_size(), 50u);
+  w.tb.make_ues(*w.site, 25, {0.5});
+  w.tb.register_all(*w.site, Duration::sec(2.0), Duration::sec(5.0));
+  EXPECT_EQ(w.lb->routing_table_size(), 75u);
+}
+
+TEST(SimpleBaseline, ServiceRequestAfterIdleServedFromState) {
+  SimpleWorld w(2);
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(8.0));  // attach + idle
+  ASSERT_TRUE(ue.registered());
+  ASSERT_FALSE(ue.connected());
+  EXPECT_TRUE(ue.service_request());
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_TRUE(ue.connected());
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kServiceRequest), 1u);
+}
+
+}  // namespace
+}  // namespace scale

@@ -1,0 +1,129 @@
+// SIMPLE baseline edge behaviours: buddy spill-over under overload, buddy
+// re-wiring when VMs are added, routing-table persistence.
+#include <gtest/gtest.h>
+
+#include "mme/simple.h"
+#include "testbed/testbed.h"
+#include "workload/arrivals.h"
+
+namespace scale {
+namespace {
+
+using testbed::Testbed;
+
+struct SimpleWorld {
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<mme::SimpleLb> lb;
+  std::vector<std::unique_ptr<mme::SimpleVm>> vms;
+
+  explicit SimpleWorld(std::size_t vm_count, double cpu_speed = 1.0) {
+    site = &tb.add_site(1);
+    mme::SimpleLb::Config lb_cfg;
+    lb = std::make_unique<mme::SimpleLb>(tb.fabric(), lb_cfg);
+    for (std::size_t i = 0; i < vm_count; ++i) add_vm(cpu_speed);
+    site->enb(0).add_mme(lb->node(), lb_cfg.mme_code, 1.0);
+  }
+
+  mme::SimpleVm& add_vm(double cpu_speed) {
+    mme::ClusterVm::Config vm_cfg;
+    vm_cfg.sgw = site->sgw->node();
+    vm_cfg.hss = tb.hss().node();
+    vm_cfg.cpu_speed = cpu_speed;
+    vm_cfg.app.assign_guti_locally = false;
+    vm_cfg.app.mme_code = 1;
+    vm_cfg.app.vm_code = static_cast<std::uint8_t>(vms.size() + 1);
+    vm_cfg.app.profile.inactivity_timeout = Duration::ms(500.0);
+    vms.push_back(std::make_unique<mme::SimpleVm>(tb.fabric(), vm_cfg));
+    lb->add_vm(*vms.back());
+    return *vms.back();
+  }
+};
+
+TEST(SimpleEdge, OverloadedPrimarySpillsToBuddyOnly) {
+  SimpleWorld w(3, /*cpu_speed=*/0.25);
+  auto ues = w.tb.make_ues(*w.site, 600, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(10.0), Duration::sec(6.0));
+
+  // Drive only VM1's devices well past its capacity.
+  std::vector<epc::Ue*> vm1_devices;
+  for (epc::Ue* ue : ues) {
+    if (!ue->registered()) continue;
+    const auto* ctx = w.vms[0]->app().store().find(ue->guti()->key());
+    // Masters only — VM1 also buddies VM3's replicas.
+    if (ctx != nullptr && ctx->role == epc::ContextRole::kMaster)
+      vm1_devices.push_back(ue);
+  }
+  ASSERT_GT(vm1_devices.size(), 50u);
+
+  const auto handled_before_2 = w.vms[1]->requests_handled();
+  const auto handled_before_3 = w.vms[2]->requests_handled();
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = 1200.0;
+  drv.mix.service_request = 0.5;
+  drv.mix.tau = 0.5;
+  workload::OpenLoopDriver driver(w.tb.engine(), vm1_devices, drv);
+  driver.start(w.tb.engine().now() + Duration::sec(6.0));
+  w.tb.run_for(Duration::sec(8.0));
+
+  // Spill goes to VM2 (the buddy) — VM3 holds none of VM1's state and
+  // must see none of its traffic.
+  EXPECT_GT(w.vms[1]->requests_handled(), handled_before_2);
+  EXPECT_EQ(w.vms[2]->requests_handled(), handled_before_3)
+      << "SIMPLE must not spread beyond the single buddy";
+}
+
+TEST(SimpleEdge, AddVmRewiresBuddyRing) {
+  SimpleWorld w(2);
+  EXPECT_EQ(w.vms[0]->buddy(), w.vms[1]->node());
+  EXPECT_EQ(w.vms[1]->buddy(), w.vms[0]->node());
+  w.add_vm(1.0);
+  EXPECT_EQ(w.vms[0]->buddy(), w.vms[1]->node());
+  EXPECT_EQ(w.vms[1]->buddy(), w.vms[2]->node());
+  EXPECT_EQ(w.vms[2]->buddy(), w.vms[0]->node());
+}
+
+TEST(SimpleEdge, TableEntryStableAcrossReattach) {
+  SimpleWorld w(3);
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.registered());
+  const proto::Guti guti = *ue.guti();
+  ASSERT_EQ(w.lb->routing_table_size(), 1u);
+
+  // Re-attach with the same GUTI: same table entry, same primary VM.
+  std::size_t holder_before = SIZE_MAX;
+  for (std::size_t i = 0; i < w.vms.size(); ++i)
+    if (w.vms[i]->app().store().contains(guti.key())) holder_before = i;
+  ue.attach();
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_EQ(*ue.guti(), guti);
+  EXPECT_EQ(w.lb->routing_table_size(), 1u);
+  ASSERT_NE(holder_before, SIZE_MAX);
+  EXPECT_TRUE(w.vms[holder_before]->app().store().contains(guti.key()));
+}
+
+TEST(SimpleEdge, BuddyReplicaTracksIdleSync) {
+  SimpleWorld w(2);
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(3.0));  // attach + idle (0.5 s timer) + sync
+  ASSERT_TRUE(ue.registered());
+  const std::uint64_t key = ue.guti()->key();
+
+  const mme::UeContext* master = nullptr;
+  const mme::UeContext* replica = nullptr;
+  for (auto& vm : w.vms) {
+    const auto* ctx = vm->app().store().find(key);
+    if (ctx == nullptr) continue;
+    (ctx->role == epc::ContextRole::kMaster ? master : replica) = ctx;
+  }
+  ASSERT_NE(master, nullptr);
+  ASSERT_NE(replica, nullptr);
+  EXPECT_EQ(replica->rec.version, master->rec.version);
+  EXPECT_FALSE(replica->rec.active);
+}
+
+}  // namespace
+}  // namespace scale

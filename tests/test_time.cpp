@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace scale {
+namespace {
+
+using namespace scale::literals;
+
+TEST(Duration, ConstructorsAndAccessors) {
+  EXPECT_EQ(Duration::us(1500).count_us(), 1500);
+  EXPECT_EQ(Duration::ms(1.5).count_us(), 1500);
+  EXPECT_EQ(Duration::sec(2.0).count_us(), 2'000'000);
+  EXPECT_DOUBLE_EQ(Duration::us(2500).to_ms(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::us(2'500'000).to_sec(), 2.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::ms(3.0), b = Duration::ms(1.0);
+  EXPECT_EQ((a + b).count_us(), 4000);
+  EXPECT_EQ((a - b).count_us(), 2000);
+  EXPECT_EQ((a * 3).count_us(), 9000);
+  EXPECT_EQ((a * 0.5).count_us(), 1500);
+  EXPECT_EQ((a / 3).count_us(), 1000);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(Duration, ComparisonIsTotalOrder) {
+  EXPECT_LT(Duration::us(1), Duration::us(2));
+  EXPECT_EQ(Duration::ms(1.0), Duration::us(1000));
+  EXPECT_GT(Duration::sec(1.0), Duration::ms(999.0));
+}
+
+TEST(Duration, NegativeIntermediatesAllowed) {
+  const Duration d = Duration::ms(1.0) - Duration::ms(5.0);
+  EXPECT_EQ(d.count_us(), -4000);
+  EXPECT_LT(d, Duration::zero());
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ((5_us).count_us(), 5);
+  EXPECT_EQ((5_ms).count_us(), 5000);
+  EXPECT_EQ((5_sec).count_us(), 5'000'000);
+}
+
+TEST(Time, Arithmetic) {
+  const Time t = Time::zero() + Duration::sec(1.5);
+  EXPECT_EQ(t.count_us(), 1'500'000);
+  EXPECT_EQ((t - Time::zero()).count_us(), 1'500'000);
+  EXPECT_EQ((t - Duration::ms(500.0)).count_us(), 1'000'000);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::zero();
+  t += Duration::ms(250.0);
+  t += Duration::ms(250.0);
+  EXPECT_EQ(t, Time::from_us(500'000));
+}
+
+TEST(Time, FromSeconds) {
+  EXPECT_EQ(Time::from_sec(0.001).count_us(), 1000);
+}
+
+TEST(Duration, StringRendering) {
+  EXPECT_EQ(Duration::us(12).str(), "12us");
+  EXPECT_NE(Duration::ms(3.0).str().find("ms"), std::string::npos);
+  EXPECT_NE(Duration::sec(3.0).str().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scale

@@ -1,0 +1,166 @@
+// UE state-machine edge cases: illegal triggers, guard timeouts, redirect
+// handling, camping behaviour.
+#include <gtest/gtest.h>
+
+#include "mme/pool.h"
+#include "testbed/testbed.h"
+
+namespace scale {
+namespace {
+
+using testbed::Testbed;
+
+struct World {
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<mme::MmePool> pool;
+
+  explicit World(Testbed::Config tcfg = {}) : tb(tcfg) {
+    site = &tb.add_site(2);
+    mme::MmePool::Config cfg;
+    cfg.node_template.sgw = site->sgw->node();
+    cfg.node_template.hss = tb.hss().node();
+    cfg.initial_count = 1;
+    pool = std::make_unique<mme::MmePool>(tb.fabric(), cfg);
+    for (auto& enb : site->enbs) pool->connect_enb(*enb);
+  }
+};
+
+TEST(UeState, IllegalTriggersAreRefused) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  // Not registered yet: everything except attach refuses.
+  EXPECT_FALSE(ue.service_request());
+  EXPECT_FALSE(ue.tracking_area_update());
+  EXPECT_FALSE(ue.detach());
+  EXPECT_FALSE(ue.handover(w.site->enb(1)));
+
+  EXPECT_TRUE(ue.attach());
+  // Busy: a second trigger while the attach is pending refuses.
+  EXPECT_FALSE(ue.attach());
+  EXPECT_TRUE(ue.busy());
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.connected());
+
+  // Connected: SR and TAU need Idle; handover needs a *different* cell.
+  EXPECT_FALSE(ue.service_request());
+  EXPECT_FALSE(ue.tracking_area_update());
+  EXPECT_FALSE(ue.handover(*ue.serving_enb()));
+}
+
+TEST(UeState, GuardTimeoutReportsFailure) {
+  Testbed::Config tcfg;
+  tcfg.ue_guard_timeout = Duration::sec(3.0);
+  tcfg.auto_reattach = false;
+  World w(tcfg);
+  // Point the eNodeB at a black hole: add a bogus MME that will never
+  // answer (an unregistered fabric node).
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  w.site->enb(0).remove_mme(w.pool->mme(0).node());
+  w.site->enb(0).add_mme(/*node=*/9999, /*code=*/77, 1.0);
+
+  EXPECT_TRUE(ue.attach());
+  w.tb.run_for(Duration::sec(5.0));
+  EXPECT_FALSE(ue.registered());
+  EXPECT_FALSE(ue.busy());  // guard cleared the pending procedure
+  EXPECT_EQ(ue.failures(), 1u);
+  EXPECT_GE(w.tb.fabric().dropped(), 1u);
+}
+
+TEST(UeState, CompletionCountsPerProcedure) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(8.0));
+  ue.service_request();
+  w.tb.run_for(Duration::sec(8.0));
+  ue.tracking_area_update();
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kAttach), 1u);
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kServiceRequest), 1u);
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kTrackingAreaUpdate), 1u);
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kDetach), 0u);
+}
+
+TEST(UeState, DetachWhileConnectedUsesUplinkPath) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.connected());
+  EXPECT_TRUE(ue.detach());  // while Active: NAS over the existing S1 conn
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_FALSE(ue.registered());
+  EXPECT_EQ(w.site->sgw->session_count(), 0u);
+}
+
+TEST(UeState, PagingIgnoredWhileConnectedOrBusy) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.connected());
+  ue.on_paging();  // no-op: already Active
+  EXPECT_FALSE(ue.busy());
+}
+
+TEST(UeState, ReattachKeepsIdentityAndSession) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(8.0));
+  ASSERT_TRUE(ue.registered());
+  const proto::Guti first = *ue.guti();
+
+  // Re-attach (e.g. after airplane mode) with the old GUTI: the MME finds
+  // the retained context and skips the HSS round trip.
+  const std::uint64_t auths_before = w.tb.hss().auth_requests_served();
+  EXPECT_TRUE(ue.attach());
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_TRUE(ue.connected());
+  EXPECT_EQ(*ue.guti(), first);
+  EXPECT_EQ(w.tb.hss().auth_requests_served(), auths_before)
+      << "re-attach with intact security context must skip EPS-AKA";
+}
+
+TEST(UeState, HandoverChainAcrossCells) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(2.0));
+  ASSERT_TRUE(ue.connected());
+  for (int hop = 0; hop < 4; ++hop) {
+    epc::EnodeB& target = w.site->enb(hop % 2 == 0 ? 1 : 0);
+    ASSERT_TRUE(ue.handover(target));
+    w.tb.run_for(Duration::sec(1.0));
+    ASSERT_TRUE(ue.connected());
+    EXPECT_EQ(ue.serving_enb(), &target);
+  }
+  EXPECT_EQ(ue.completed(proto::ProcedureType::kHandover), 4u);
+  // The MME tracked the final cell.
+  auto* ctx = w.pool->mme(0).app().store().find(ue.guti()->key());
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(ctx->rec.enb_id, ue.serving_enb()->node());
+}
+
+TEST(UeState, CampedOnlyWhileIdleRegistered) {
+  World w;
+  epc::Ue& ue = w.tb.make_ue(*w.site, 0, 0.5);
+  ue.attach();
+  w.tb.run_for(Duration::sec(8.0));  // registered + idle -> camped
+  ASSERT_FALSE(ue.connected());
+
+  const proto::Teid teid = w.site->sgw->teid_for(ue.imsi());
+  EXPECT_TRUE(w.site->sgw->inject_downlink_data(teid));
+  w.tb.run_for(Duration::sec(2.0));
+  EXPECT_TRUE(ue.connected()) << "paging must reach a camped idle UE";
+
+  // While Active, paging does not reach it (it is decamped).
+  const auto hits_before = w.site->enb(0).paging_hits();
+  EXPECT_TRUE(w.site->sgw->inject_downlink_data(teid));
+  w.tb.run_for(Duration::sec(1.0));
+  EXPECT_EQ(w.site->enb(0).paging_hits(), hits_before);
+}
+
+}  // namespace
+}  // namespace scale
