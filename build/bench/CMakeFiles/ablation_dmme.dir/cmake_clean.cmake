@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dmme.dir/ablation_dmme.cpp.o"
+  "CMakeFiles/ablation_dmme.dir/ablation_dmme.cpp.o.d"
+  "ablation_dmme"
+  "ablation_dmme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dmme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

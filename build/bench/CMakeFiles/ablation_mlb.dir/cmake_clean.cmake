@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mlb.dir/ablation_mlb.cpp.o"
+  "CMakeFiles/ablation_mlb.dir/ablation_mlb.cpp.o.d"
+  "ablation_mlb"
+  "ablation_mlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

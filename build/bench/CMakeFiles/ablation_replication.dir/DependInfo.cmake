@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_replication.cpp" "bench/CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o" "gcc" "bench/CMakeFiles/ablation_replication.dir/ablation_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/scale_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/scale_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/scale_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/scale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scale_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/scale_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

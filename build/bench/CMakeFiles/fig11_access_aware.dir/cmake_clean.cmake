@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_access_aware.dir/fig11_access_aware.cpp.o"
+  "CMakeFiles/fig11_access_aware.dir/fig11_access_aware.cpp.o.d"
+  "fig11_access_aware"
+  "fig11_access_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_access_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

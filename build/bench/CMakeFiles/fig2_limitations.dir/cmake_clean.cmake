@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_limitations.dir/fig2_limitations.cpp.o"
+  "CMakeFiles/fig2_limitations.dir/fig2_limitations.cpp.o.d"
+  "fig2_limitations"
+  "fig2_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

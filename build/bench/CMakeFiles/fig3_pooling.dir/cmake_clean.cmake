@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pooling.dir/fig3_pooling.cpp.o"
+  "CMakeFiles/fig3_pooling.dir/fig3_pooling.cpp.o.d"
+  "fig3_pooling"
+  "fig3_pooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_feasibility.dir/fig7_feasibility.cpp.o"
+  "CMakeFiles/fig7_feasibility.dir/fig7_feasibility.cpp.o.d"
+  "fig7_feasibility"
+  "fig7_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_statusquo.dir/fig8_statusquo.cpp.o"
+  "CMakeFiles/fig8_statusquo.dir/fig8_statusquo.cpp.o.d"
+  "fig8_statusquo"
+  "fig8_statusquo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_statusquo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_placement.dir/fig9_placement.cpp.o"
+  "CMakeFiles/fig9_placement.dir/fig9_placement.cpp.o.d"
+  "fig9_placement"
+  "fig9_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_mass_access.dir/iot_mass_access.cpp.o"
+  "CMakeFiles/iot_mass_access.dir/iot_mass_access.cpp.o.d"
+  "iot_mass_access"
+  "iot_mass_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_mass_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

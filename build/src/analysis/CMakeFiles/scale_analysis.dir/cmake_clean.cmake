@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_analysis.dir/access_model.cpp.o"
+  "CMakeFiles/scale_analysis.dir/access_model.cpp.o.d"
+  "CMakeFiles/scale_analysis.dir/replication_model.cpp.o"
+  "CMakeFiles/scale_analysis.dir/replication_model.cpp.o.d"
+  "libscale_analysis.a"
+  "libscale_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_common.dir/logging.cpp.o"
+  "CMakeFiles/scale_common.dir/logging.cpp.o.d"
+  "CMakeFiles/scale_common.dir/rng.cpp.o"
+  "CMakeFiles/scale_common.dir/rng.cpp.o.d"
+  "CMakeFiles/scale_common.dir/stats.cpp.o"
+  "CMakeFiles/scale_common.dir/stats.cpp.o.d"
+  "libscale_common.a"
+  "libscale_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

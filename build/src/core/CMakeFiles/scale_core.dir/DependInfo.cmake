@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/scale_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/geo.cpp" "src/core/CMakeFiles/scale_core.dir/geo.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/geo.cpp.o.d"
+  "/root/repo/src/core/mlb.cpp" "src/core/CMakeFiles/scale_core.dir/mlb.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/mlb.cpp.o.d"
+  "/root/repo/src/core/mmp.cpp" "src/core/CMakeFiles/scale_core.dir/mmp.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/mmp.cpp.o.d"
+  "/root/repo/src/core/provisioner.cpp" "src/core/CMakeFiles/scale_core.dir/provisioner.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/provisioner.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/scale_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/scale_core.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/scale_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/scale_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/scale_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

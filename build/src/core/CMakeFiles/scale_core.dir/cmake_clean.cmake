@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_core.dir/cluster.cpp.o"
+  "CMakeFiles/scale_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/scale_core.dir/geo.cpp.o"
+  "CMakeFiles/scale_core.dir/geo.cpp.o.d"
+  "CMakeFiles/scale_core.dir/mlb.cpp.o"
+  "CMakeFiles/scale_core.dir/mlb.cpp.o.d"
+  "CMakeFiles/scale_core.dir/mmp.cpp.o"
+  "CMakeFiles/scale_core.dir/mmp.cpp.o.d"
+  "CMakeFiles/scale_core.dir/provisioner.cpp.o"
+  "CMakeFiles/scale_core.dir/provisioner.cpp.o.d"
+  "CMakeFiles/scale_core.dir/replication.cpp.o"
+  "CMakeFiles/scale_core.dir/replication.cpp.o.d"
+  "libscale_core.a"
+  "libscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/epc/enodeb.cpp" "src/epc/CMakeFiles/scale_epc.dir/enodeb.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/enodeb.cpp.o.d"
+  "/root/repo/src/epc/fabric.cpp" "src/epc/CMakeFiles/scale_epc.dir/fabric.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/fabric.cpp.o.d"
+  "/root/repo/src/epc/hss.cpp" "src/epc/CMakeFiles/scale_epc.dir/hss.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/hss.cpp.o.d"
+  "/root/repo/src/epc/sgw.cpp" "src/epc/CMakeFiles/scale_epc.dir/sgw.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/sgw.cpp.o.d"
+  "/root/repo/src/epc/ue.cpp" "src/epc/CMakeFiles/scale_epc.dir/ue.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/ue.cpp.o.d"
+  "/root/repo/src/epc/ue_context.cpp" "src/epc/CMakeFiles/scale_epc.dir/ue_context.cpp.o" "gcc" "src/epc/CMakeFiles/scale_epc.dir/ue_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/scale_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

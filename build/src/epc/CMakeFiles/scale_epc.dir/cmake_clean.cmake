@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_epc.dir/enodeb.cpp.o"
+  "CMakeFiles/scale_epc.dir/enodeb.cpp.o.d"
+  "CMakeFiles/scale_epc.dir/fabric.cpp.o"
+  "CMakeFiles/scale_epc.dir/fabric.cpp.o.d"
+  "CMakeFiles/scale_epc.dir/hss.cpp.o"
+  "CMakeFiles/scale_epc.dir/hss.cpp.o.d"
+  "CMakeFiles/scale_epc.dir/sgw.cpp.o"
+  "CMakeFiles/scale_epc.dir/sgw.cpp.o.d"
+  "CMakeFiles/scale_epc.dir/ue.cpp.o"
+  "CMakeFiles/scale_epc.dir/ue.cpp.o.d"
+  "CMakeFiles/scale_epc.dir/ue_context.cpp.o"
+  "CMakeFiles/scale_epc.dir/ue_context.cpp.o.d"
+  "libscale_epc.a"
+  "libscale_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscale_epc.a"
+)

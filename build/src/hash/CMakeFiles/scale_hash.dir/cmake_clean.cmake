@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_hash.dir/md5.cpp.o"
+  "CMakeFiles/scale_hash.dir/md5.cpp.o.d"
+  "CMakeFiles/scale_hash.dir/ring.cpp.o"
+  "CMakeFiles/scale_hash.dir/ring.cpp.o.d"
+  "libscale_hash.a"
+  "libscale_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mme/cluster_vm.cpp" "src/mme/CMakeFiles/scale_mme.dir/cluster_vm.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/cluster_vm.cpp.o.d"
+  "/root/repo/src/mme/dmme.cpp" "src/mme/CMakeFiles/scale_mme.dir/dmme.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/dmme.cpp.o.d"
+  "/root/repo/src/mme/mme_app.cpp" "src/mme/CMakeFiles/scale_mme.dir/mme_app.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/mme_app.cpp.o.d"
+  "/root/repo/src/mme/mme_node.cpp" "src/mme/CMakeFiles/scale_mme.dir/mme_node.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/mme_node.cpp.o.d"
+  "/root/repo/src/mme/pool.cpp" "src/mme/CMakeFiles/scale_mme.dir/pool.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/pool.cpp.o.d"
+  "/root/repo/src/mme/simple.cpp" "src/mme/CMakeFiles/scale_mme.dir/simple.cpp.o" "gcc" "src/mme/CMakeFiles/scale_mme.dir/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/scale_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/scale_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

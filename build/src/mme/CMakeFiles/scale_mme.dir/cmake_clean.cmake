@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_mme.dir/cluster_vm.cpp.o"
+  "CMakeFiles/scale_mme.dir/cluster_vm.cpp.o.d"
+  "CMakeFiles/scale_mme.dir/dmme.cpp.o"
+  "CMakeFiles/scale_mme.dir/dmme.cpp.o.d"
+  "CMakeFiles/scale_mme.dir/mme_app.cpp.o"
+  "CMakeFiles/scale_mme.dir/mme_app.cpp.o.d"
+  "CMakeFiles/scale_mme.dir/mme_node.cpp.o"
+  "CMakeFiles/scale_mme.dir/mme_node.cpp.o.d"
+  "CMakeFiles/scale_mme.dir/pool.cpp.o"
+  "CMakeFiles/scale_mme.dir/pool.cpp.o.d"
+  "CMakeFiles/scale_mme.dir/simple.cpp.o"
+  "CMakeFiles/scale_mme.dir/simple.cpp.o.d"
+  "libscale_mme.a"
+  "libscale_mme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_mme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

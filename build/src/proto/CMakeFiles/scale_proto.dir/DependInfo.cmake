@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/buffer.cpp" "src/proto/CMakeFiles/scale_proto.dir/buffer.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/buffer.cpp.o.d"
+  "/root/repo/src/proto/cluster.cpp" "src/proto/CMakeFiles/scale_proto.dir/cluster.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/cluster.cpp.o.d"
+  "/root/repo/src/proto/codec.cpp" "src/proto/CMakeFiles/scale_proto.dir/codec.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/codec.cpp.o.d"
+  "/root/repo/src/proto/nas.cpp" "src/proto/CMakeFiles/scale_proto.dir/nas.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/nas.cpp.o.d"
+  "/root/repo/src/proto/s11.cpp" "src/proto/CMakeFiles/scale_proto.dir/s11.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/s11.cpp.o.d"
+  "/root/repo/src/proto/s1ap.cpp" "src/proto/CMakeFiles/scale_proto.dir/s1ap.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/s1ap.cpp.o.d"
+  "/root/repo/src/proto/s6.cpp" "src/proto/CMakeFiles/scale_proto.dir/s6.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/s6.cpp.o.d"
+  "/root/repo/src/proto/types.cpp" "src/proto/CMakeFiles/scale_proto.dir/types.cpp.o" "gcc" "src/proto/CMakeFiles/scale_proto.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_proto.dir/buffer.cpp.o"
+  "CMakeFiles/scale_proto.dir/buffer.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/cluster.cpp.o"
+  "CMakeFiles/scale_proto.dir/cluster.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/codec.cpp.o"
+  "CMakeFiles/scale_proto.dir/codec.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/nas.cpp.o"
+  "CMakeFiles/scale_proto.dir/nas.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/s11.cpp.o"
+  "CMakeFiles/scale_proto.dir/s11.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/s1ap.cpp.o"
+  "CMakeFiles/scale_proto.dir/s1ap.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/s6.cpp.o"
+  "CMakeFiles/scale_proto.dir/s6.cpp.o.d"
+  "CMakeFiles/scale_proto.dir/types.cpp.o"
+  "CMakeFiles/scale_proto.dir/types.cpp.o.d"
+  "libscale_proto.a"
+  "libscale_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

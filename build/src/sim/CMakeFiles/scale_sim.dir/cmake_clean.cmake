@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_sim.dir/cpu.cpp.o"
+  "CMakeFiles/scale_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/scale_sim.dir/engine.cpp.o"
+  "CMakeFiles/scale_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/scale_sim.dir/metrics.cpp.o"
+  "CMakeFiles/scale_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/scale_sim.dir/network.cpp.o"
+  "CMakeFiles/scale_sim.dir/network.cpp.o.d"
+  "libscale_sim.a"
+  "libscale_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

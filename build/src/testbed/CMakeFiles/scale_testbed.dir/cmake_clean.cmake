@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_testbed.dir/testbed.cpp.o"
+  "CMakeFiles/scale_testbed.dir/testbed.cpp.o.d"
+  "libscale_testbed.a"
+  "libscale_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/scale_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/scale_workload.dir/population.cpp.o"
+  "CMakeFiles/scale_workload.dir/population.cpp.o.d"
+  "CMakeFiles/scale_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/scale_workload.dir/scenarios.cpp.o.d"
+  "libscale_workload.a"
+  "libscale_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

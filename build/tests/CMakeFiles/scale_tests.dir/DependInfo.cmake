@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/scale_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_analysis_numeric.cpp" "tests/CMakeFiles/scale_tests.dir/test_analysis_numeric.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_analysis_numeric.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/scale_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_cluster_vm.cpp" "tests/CMakeFiles/scale_tests.dir/test_cluster_vm.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_cluster_vm.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/scale_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_codec_fuzz.cpp" "tests/CMakeFiles/scale_tests.dir/test_codec_fuzz.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_codec_fuzz.cpp.o.d"
+  "/root/repo/tests/test_context_store.cpp" "tests/CMakeFiles/scale_tests.dir/test_context_store.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_context_store.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/scale_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/scale_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dmme.cpp" "tests/CMakeFiles/scale_tests.dir/test_dmme.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_dmme.cpp.o.d"
+  "/root/repo/tests/test_elasticity.cpp" "tests/CMakeFiles/scale_tests.dir/test_elasticity.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_elasticity.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/scale_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_enodeb.cpp" "tests/CMakeFiles/scale_tests.dir/test_enodeb.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_enodeb.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/scale_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/scale_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_geo_evict.cpp" "tests/CMakeFiles/scale_tests.dir/test_geo_evict.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_geo_evict.cpp.o.d"
+  "/root/repo/tests/test_hss_sgw.cpp" "tests/CMakeFiles/scale_tests.dir/test_hss_sgw.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_hss_sgw.cpp.o.d"
+  "/root/repo/tests/test_invariant_churn.cpp" "tests/CMakeFiles/scale_tests.dir/test_invariant_churn.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_invariant_churn.cpp.o.d"
+  "/root/repo/tests/test_md5.cpp" "tests/CMakeFiles/scale_tests.dir/test_md5.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_md5.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/scale_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mlb.cpp" "tests/CMakeFiles/scale_tests.dir/test_mlb.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_mlb.cpp.o.d"
+  "/root/repo/tests/test_mme_app_unit.cpp" "tests/CMakeFiles/scale_tests.dir/test_mme_app_unit.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_mme_app_unit.cpp.o.d"
+  "/root/repo/tests/test_mme_edge.cpp" "tests/CMakeFiles/scale_tests.dir/test_mme_edge.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_mme_edge.cpp.o.d"
+  "/root/repo/tests/test_mme_integration.cpp" "tests/CMakeFiles/scale_tests.dir/test_mme_integration.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_mme_integration.cpp.o.d"
+  "/root/repo/tests/test_multi_mlb.cpp" "tests/CMakeFiles/scale_tests.dir/test_multi_mlb.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_multi_mlb.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/scale_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_pool_overload.cpp" "tests/CMakeFiles/scale_tests.dir/test_pool_overload.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_pool_overload.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/scale_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_provisioner.cpp" "tests/CMakeFiles/scale_tests.dir/test_provisioner.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_provisioner.cpp.o.d"
+  "/root/repo/tests/test_replication_policy.cpp" "tests/CMakeFiles/scale_tests.dir/test_replication_policy.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_replication_policy.cpp.o.d"
+  "/root/repo/tests/test_ring.cpp" "tests/CMakeFiles/scale_tests.dir/test_ring.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_ring.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/scale_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scale_integration.cpp" "tests/CMakeFiles/scale_tests.dir/test_scale_integration.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_scale_integration.cpp.o.d"
+  "/root/repo/tests/test_scenarios.cpp" "tests/CMakeFiles/scale_tests.dir/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_scenarios.cpp.o.d"
+  "/root/repo/tests/test_simple_baseline.cpp" "tests/CMakeFiles/scale_tests.dir/test_simple_baseline.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_simple_baseline.cpp.o.d"
+  "/root/repo/tests/test_simple_edge.cpp" "tests/CMakeFiles/scale_tests.dir/test_simple_edge.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_simple_edge.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/scale_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/scale_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_ue_state.cpp" "tests/CMakeFiles/scale_tests.dir/test_ue_state.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_ue_state.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/scale_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/scale_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/scale_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/scale_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scale_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/scale_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/epc/CMakeFiles/scale_epc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mme/CMakeFiles/scale_mme.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/scale_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/scale_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/scale_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
