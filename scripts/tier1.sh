@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): full build + complete test suite, then
+# the fault/transport tests again under ASan+UBSan — the chaos paths
+# exercise retransmit-timer lambdas, PDU aliasing across endpoints, and
+# crash/deregistration races that only the sanitizers can vouch for.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc)"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"${JOBS}" --target scale_tests
+(cd build-asan && ctest --output-on-failure -j"${JOBS}" \
+  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network')
+
+echo "tier-1: OK"

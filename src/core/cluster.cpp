@@ -83,6 +83,8 @@ MmpNode& ScaleCluster::add_mmp() {
   vm_cfg.base.app.vm_code = next_code_++;
   vm_cfg.base.app.home_dc = cfg_.home_dc;
   vm_cfg.offload_threshold = cfg_.mmp_offload_threshold;
+  vm_cfg.shed_backlog = cfg_.mmp_shed_backlog;
+  vm_cfg.shed_backoff = cfg_.mmp_shed_backoff;
   vm_cfg.seed = rng_.next_u64();
 
   auto vm = std::make_unique<MmpNode>(fabric_, vm_cfg);

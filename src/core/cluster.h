@@ -39,6 +39,10 @@ class ScaleCluster {
     Mlb::Config mlb;                     ///< identity fields overwritten
     mme::ClusterVm::Config vm_template;  ///< sgw/hss/home_dc overwritten
     double mmp_offload_threshold = 0.85;
+    /// Overload shedding for every MMP VM (see MmpNode::Config). zero()
+    /// keeps the seed behaviour (no shedding).
+    Duration mmp_shed_backlog = Duration::zero();
+    Duration mmp_shed_backoff = Duration::ms(200.0);
 
     unsigned ring_tokens = 5;
     bool ring_md5 = true;

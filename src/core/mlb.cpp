@@ -6,6 +6,7 @@ namespace scale::core {
 
 Mlb::Mlb(Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      rel_(fabric, node_),
       cpu_(fabric.engine(), cfg.cpu_speed),
       util_(fabric.engine(), cpu_),
       ring_(cfg.ring), next_tmsi_(cfg.tmsi_base) {}
@@ -47,12 +48,30 @@ NodeId Mlb::node_of_code(std::uint8_t code) const {
   return it == code_to_node_.end() ? 0 : it->second;
 }
 
+bool Mlb::in_backoff(NodeId mmp, Time now) const {
+  const auto it = shed_until_.find(mmp);
+  return it != shed_until_.end() && now < it->second;
+}
+
 NodeId Mlb::pick_least_loaded(
     const std::vector<hash::RingNodeId>& prefs) const {
   SCALE_CHECK(!prefs.empty());
-  NodeId best = prefs.front();
+  // Candidates inside a shed-backoff window lose to any candidate outside
+  // one; within a class, least load wins with first-in-list tie-break (the
+  // seed behaviour when no sheds are active).
+  const Time now = fabric_.engine().now();
+  NodeId best = 0;
+  bool best_shed = true;
+  double best_load = 0.0;
   for (const hash::RingNodeId candidate : prefs) {
-    if (load_of(candidate) < load_of(best)) best = candidate;
+    const bool shed = in_backoff(candidate, now);
+    const double load = load_of(candidate);
+    if (best == 0 || (!shed && best_shed) ||
+        (shed == best_shed && load < best_load)) {
+      best = candidate;
+      best_shed = shed;
+      best_load = load;
+    }
   }
   return best;
 }
@@ -64,7 +83,31 @@ void Mlb::forward(NodeId mmp, NodeId origin, const proto::Guti& guti,
   fwd.guti = guti;
   fwd.no_offload = no_offload;
   fwd.inner = proto::box(std::move(inner));
-  fabric_.send(node_, mmp, proto::pdu_of(proto::ClusterMessage{std::move(fwd)}));
+  rel_.send(mmp, proto::pdu_of(proto::ClusterMessage{std::move(fwd)}));
+}
+
+void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
+  ++overload_rejects_;
+  shed_until_[rej.mmp_node] =
+      fabric_.engine().now() +
+      Duration::us(static_cast<std::int64_t>(rej.backoff_us));
+  if (rej.inner == nullptr) return;  // pure backoff hint, nothing to re-steer
+  if (ring_.empty()) {
+    ++unroutable_;
+    return;
+  }
+  // Re-steer to the best alternative, excluding the shedder when the
+  // preference list offers one. no_offload marks the forward as final so the
+  // replica can neither geo-offload nor shed it back (ping-pong guard).
+  const auto prefs = ring_.preference_list(rej.guti.key(), cfg_.choices);
+  std::vector<hash::RingNodeId> alternatives;
+  for (const hash::RingNodeId c : prefs)
+    if (c != rej.mmp_node) alternatives.push_back(c);
+  const NodeId target =
+      alternatives.empty() ? rej.mmp_node : pick_least_loaded(alternatives);
+  ++overload_resteers_;
+  forward(target, rej.origin, rej.guti, rej.inner->value,
+          /*no_offload=*/true);
 }
 
 void Mlb::route_initial(NodeId from, const proto::InitialUeMessage& msg) {
@@ -119,7 +162,7 @@ void Mlb::route_geo_forward(NodeId from, const proto::GeoForward& gf) {
   // Deliver to the VM the local ring maps this GUTI to; it holds the
   // external replica (or answers GeoReject if it was evicted).
   const NodeId mmp = ring_.owner(gf.guti.key());
-  fabric_.send(node_, mmp, proto::pdu_of(proto::ClusterMessage{gf}));
+  rel_.send(mmp, proto::pdu_of(proto::ClusterMessage{gf}));
 }
 
 void Mlb::route_geo_reject(const proto::GeoReject& rej) {
@@ -135,6 +178,8 @@ void Mlb::route_geo_reject(const proto::GeoReject& rej) {
 }
 
 void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
+  const proto::Pdu* app = rel_.unwrap(from, pdu);
+  if (app == nullptr) return;  // shim traffic (ack / suppressed duplicate)
   std::visit(
       [this, from](const auto& family) {
         using T = std::decay_t<decltype(family)>;
@@ -199,7 +244,7 @@ void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
             const proto::PduRef inner = reply->inner;
             cpu_.execute(cfg_.relay_cost, [this, target, inner]() {
               ++relays_;
-              fabric_.send(node_, target, inner->value);
+              rel_.send(target, inner->value);
             });
           } else if (const auto* load =
                          std::get_if<proto::LoadReport>(&family)) {
@@ -228,9 +273,13 @@ void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
                 return;
               }
               const NodeId mmp = ring_.owner(copy.rec.guti.key());
-              fabric_.send(node_, mmp,
-                           proto::pdu_of(proto::ClusterMessage{copy}));
+              rel_.send(mmp, proto::pdu_of(proto::ClusterMessage{copy}));
             });
+          } else if (const auto* shed =
+                         std::get_if<proto::OverloadReject>(&family)) {
+            const proto::OverloadReject copy = *shed;
+            cpu_.execute(cfg_.initial_route_cost,
+                         [this, copy]() { handle_overload_reject(copy); });
           } else if (std::holds_alternative<proto::GeoBudgetGossip>(family) ||
                      std::holds_alternative<proto::GeoEvictRequest>(family)) {
             if (geo_sink_) geo_sink_(from, family);
@@ -239,7 +288,7 @@ void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
           }
         }
       },
-      pdu);
+      *app);
 }
 
 }  // namespace scale::core

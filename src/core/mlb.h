@@ -21,6 +21,7 @@
 #include <unordered_map>
 
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "hash/ring.h"
 #include "sim/cpu.h"
 #include "sim/metrics.h"
@@ -80,6 +81,9 @@ class Mlb : public Endpoint {
   std::uint64_t sticky_routed() const { return sticky_routed_; }
   std::uint64_t relays() const { return relays_; }
   std::uint64_t unroutable() const { return unroutable_; }
+  std::uint64_t overload_rejects() const { return overload_rejects_; }
+  std::uint64_t overload_resteers() const { return overload_resteers_; }
+  const epc::ReliableChannel& transport() const { return rel_; }
 
  private:
   void route_initial(NodeId from, const proto::InitialUeMessage& msg);
@@ -92,10 +96,14 @@ class Mlb : public Endpoint {
   NodeId node_of_code(std::uint8_t code) const;
   proto::Guti allocate_guti();
   NodeId pick_least_loaded(const std::vector<hash::RingNodeId>& prefs) const;
+  /// True while `mmp` is inside a shed-backoff window (OverloadReject hint).
+  bool in_backoff(NodeId mmp, Time now) const;
+  void handle_overload_reject(const proto::OverloadReject& rej);
 
   Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  epc::ReliableChannel rel_;
   sim::CpuModel cpu_;
   sim::UtilizationTracker util_;
   hash::ConsistentHashRing ring_;
@@ -104,11 +112,16 @@ class Mlb : public Endpoint {
   std::unordered_map<NodeId, double> loads_;
   std::uint32_t next_tmsi_;
   std::function<void(NodeId, const proto::ClusterMessage&)> geo_sink_;
+  /// Shed-backoff windows per MMP: new Idle→Active work avoids these VMs
+  /// until the hinted deadline passes.
+  std::unordered_map<NodeId, Time> shed_until_;
 
   std::uint64_t initial_routed_ = 0;
   std::uint64_t sticky_routed_ = 0;
   std::uint64_t relays_ = 0;
   std::uint64_t unroutable_ = 0;
+  std::uint64_t overload_rejects_ = 0;
+  std::uint64_t overload_resteers_ = 0;
 };
 
 }  // namespace scale::core

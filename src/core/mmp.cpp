@@ -58,8 +58,7 @@ void MmpNode::handle_forward(NodeId from, const proto::ClusterForward& fwd) {
         // Fast path: redirects happen at ingestion (dispatcher thread),
         // ahead of the worker queue — a redirect must not wait behind the
         // very backlog it is escaping.
-        fabric_.send(node(), master,
-                     proto::pdu_of(proto::ClusterMessage{fwd}));
+        rel_.send(master, proto::pdu_of(proto::ClusterMessage{fwd}));
         return;
       }
     }
@@ -101,10 +100,29 @@ void MmpNode::handle_forward(NodeId from, const proto::ClusterForward& fwd) {
         gf.guti = fwd.guti;
         gf.inner = fwd.inner;
         // Fast path (see forward-to-master above).
-        fabric_.send(node(), remote_mlb,
-                     proto::pdu_of(proto::ClusterMessage{gf}));
+        rel_.send(remote_mlb, proto::pdu_of(proto::ClusterMessage{gf}));
         return;
       }
+    }
+
+    // Overload shedding: a bounded ingress queue instead of silent growth.
+    // Checked last — forward-to-master and geo-offload already move the
+    // work elsewhere cheaply. no_offload forwards are final (an MLB
+    // re-steer or geo bounce): shedding those would ping-pong forever, so
+    // they always join the queue.
+    if (!fwd.no_offload && mmp_cfg_.shed_backlog > Duration::zero() &&
+        backlog >= mmp_cfg_.shed_backlog && lb() != 0) {
+      ++overload_sheds_;
+      proto::OverloadReject rej;
+      rej.mmp_node = node();
+      rej.origin = fwd.origin;
+      rej.guti = fwd.guti;
+      rej.backoff_us =
+          static_cast<std::uint64_t>(mmp_cfg_.shed_backoff.count_us());
+      rej.inner = fwd.inner;
+      // Fast path, but reliable: losing the reject would strand the request.
+      rel_.send(lb(), proto::pdu_of(proto::ClusterMessage{rej}));
+      return;
     }
   }
 
@@ -124,8 +142,7 @@ void MmpNode::handle_other_cluster(NodeId from,
       rej.inner = gf->inner;
       rej.origin = gf->origin;
       if (gf->home_mlb != 0)
-        fabric_.send(node(), gf->home_mlb,
-                     proto::pdu_of(proto::ClusterMessage{rej}));
+        rel_.send(gf->home_mlb, proto::pdu_of(proto::ClusterMessage{rej}));
       return;
     }
     ++geo_served_;
@@ -237,8 +254,8 @@ void MmpNode::migrate_master(std::uint64_t guti_key, NodeId new_owner) {
                 [this, rec, new_owner]() {
                   proto::StateTransfer xfer;
                   xfer.rec = rec;
-                  fabric_.send(node(), new_owner,
-                               proto::pdu_of(proto::ClusterMessage{xfer}));
+                  rel_.send(new_owner,
+                            proto::pdu_of(proto::ClusterMessage{xfer}));
                 });
 }
 

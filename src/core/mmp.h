@@ -30,6 +30,13 @@ class MmpNode final : public mme::ClusterVm {
     /// EWMA is the slow guard. Either trips the offload.
     double offload_threshold = 0.85;
     Duration offload_backlog = Duration::ms(40.0);
+    /// Overload protection: an Initial request arriving while queued work
+    /// exceeds shed_backlog is rejected back to the MLB (OverloadReject
+    /// carrying the request + a shed_backoff steer-away hint) instead of
+    /// joining a queue it would time out in. zero() disables shedding — the
+    /// seed behaviour of unbounded silent queue growth.
+    Duration shed_backlog = Duration::zero();
+    Duration shed_backoff = Duration::ms(200.0);
     std::uint64_t seed = 7777;
   };
 
@@ -59,6 +66,7 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t geo_served() const { return geo_served_; }
   std::uint64_t geo_rejects() const { return geo_rejects_; }
   std::uint64_t forwarded_to_master() const { return forwarded_to_master_; }
+  std::uint64_t overload_sheds() const { return overload_sheds_; }
 
  protected:
   void handle_forward(NodeId from, const proto::ClusterForward& fwd) override;
@@ -86,6 +94,7 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t geo_served_ = 0;
   std::uint64_t geo_rejects_ = 0;
   std::uint64_t forwarded_to_master_ = 0;
+  std::uint64_t overload_sheds_ = 0;
 };
 
 }  // namespace scale::core

@@ -9,7 +9,7 @@ namespace scale::epc {
 
 EnodeB::EnodeB(Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
-      rng_(cfg.seed) {}
+      rel_(fabric, node_), rng_(cfg.seed) {}
 
 EnodeB::~EnodeB() { fabric_.remove_endpoint(node_); }
 
@@ -104,7 +104,7 @@ void EnodeB::ue_initial_nas(Ue& ue, proto::NasMessage nas,
     msg.enb_ue_id = id;
     msg.tac = cfg_.tac;
     msg.nas = std::move(nas);
-    fabric_.send(node_, mme, proto::make_pdu(std::move(msg)));
+    rel_.send(mme, proto::make_pdu(std::move(msg)));
   });
 }
 
@@ -122,7 +122,7 @@ void EnodeB::ue_uplink_nas(Ue& ue, proto::NasMessage nas) {
     msg.enb_ue_id = it->first;
     msg.mme_ue_id = it->second.mme_ue_id;
     msg.nas = std::move(nas);
-    fabric_.send(node_, it->second.mme_node, proto::make_pdu(std::move(msg)));
+    rel_.send(it->second.mme_node, proto::make_pdu(std::move(msg)));
   });
 }
 
@@ -138,7 +138,7 @@ void EnodeB::ue_arrive_handover(Ue& ue) {
     msg.enb_ue_id = id;
     msg.mme_ue_id = ue.mme_ue_id();
     msg.tac = cfg_.tac;
-    fabric_.send(node_, ue.serving_mme(), proto::make_pdu(msg));
+    rel_.send(ue.serving_mme(), proto::make_pdu(msg));
   });
 }
 
@@ -193,9 +193,11 @@ void EnodeB::to_ue(Ue& ue, proto::NasMessage nas) {
 }
 
 void EnodeB::receive(NodeId from, const proto::Pdu& pdu) {
-  const auto* s1ap = std::get_if<proto::S1apMessage>(&pdu);
+  const proto::Pdu* app = rel_.unwrap(from, pdu);
+  if (app == nullptr) return;  // shim traffic (ack / suppressed duplicate)
+  const auto* s1ap = std::get_if<proto::S1apMessage>(app);
   if (s1ap == nullptr) {
-    SCALE_WARN("eNodeB received non-S1AP PDU: " << proto::pdu_name(pdu));
+    SCALE_WARN("eNodeB received non-S1AP PDU: " << proto::pdu_name(*app));
     return;
   }
   handle_s1ap(from, *s1ap);
@@ -232,7 +234,7 @@ void EnodeB::handle_s1ap(NodeId from, const proto::S1apMessage& msg) {
           resp.enb_ue_id = m.enb_ue_id;
           resp.mme_ue_id = m.mme_ue_id;
           resp.enb_teid = proto::Teid::make(0, m.enb_ue_id);
-          fabric_.send(node_, from, proto::make_pdu(resp));
+          rel_.send(from, proto::make_pdu(resp));
           Ue& ue = *conn->ue;
           fabric_.engine().after(cfg_.radio_delay,
                                  [&ue]() { ue.on_connection_established(); });
@@ -257,7 +259,7 @@ void EnodeB::handle_s1ap(NodeId from, const proto::S1apMessage& msg) {
               ue.on_release(cause, releasing);
             });
           }
-          fabric_.send(node_, from, proto::make_pdu(resp));
+          rel_.send(from, proto::make_pdu(resp));
         } else if constexpr (std::is_same_v<T, proto::Paging>) {
           const auto it = camped_.find(m.m_tmsi);
           if (it != camped_.end()) {

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "proto/pdu.h"
 
 namespace scale::epc {
@@ -84,6 +85,7 @@ class EnodeB : public Endpoint {
   std::size_t connection_count() const { return conns_.size(); }
   std::uint64_t paging_hits() const { return paging_hits_; }
   std::uint64_t rrc_releases() const { return rrc_releases_; }
+  const ReliableChannel& transport() const { return rel_; }
 
  private:
   struct MmeEntry {
@@ -112,6 +114,7 @@ class EnodeB : public Endpoint {
   Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  ReliableChannel rel_;
   Rng rng_;
   std::vector<MmeEntry> mmes_;
   std::unordered_map<proto::EnbUeId, Conn> conns_;

@@ -27,7 +27,29 @@ void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
   const std::size_t bytes =
       account_bytes_ ? proto::wire_size(pdu) : std::size_t{64};
   network_.record_transfer(from, to, bytes);
-  const Duration latency = network_.delay(from, to);
+  Duration latency = network_.delay(from, to);
+  if (network_.faults_enabled()) {
+    const sim::FaultVerdict v =
+        network_.fault_verdict(from, to, engine_.now());
+    if (!v.deliver) {
+      SCALE_DEBUG("fault-dropped " << proto::pdu_name(pdu) << " " << from
+                                   << " -> " << to);
+      return;  // lost on the wire; counted in network().fault_counters()
+    }
+    if (v.latency_factor != 1.0) latency = latency * v.latency_factor;
+    latency = latency + v.extra_delay;
+    if (v.duplicate) {
+      // The duplicate trails the original by one (deterministic) configured
+      // latency — no extra Rng draw, so replays stay byte-identical.
+      deliver(from, to, pdu,
+              latency + network_.configured_latency(from, to));
+    }
+  }
+  deliver(from, to, std::move(pdu), latency);
+}
+
+void Fabric::deliver(NodeId from, NodeId to, proto::Pdu pdu,
+                     Duration latency) {
   engine_.after(latency, [this, from, to, p = std::move(pdu)]() {
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
@@ -38,6 +60,11 @@ void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
     }
     it->second->receive(from, p);
   });
+}
+
+void Fabric::reset_counters() {
+  dropped_ = 0;
+  network_.reset_counters();
 }
 
 }  // namespace scale::epc

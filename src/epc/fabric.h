@@ -23,6 +23,20 @@ namespace scale::epc {
 
 using sim::NodeId;
 
+/// Parameters of the SCTP-like reliability shim (epc/reliable.h). Stored on
+/// the fabric so every endpoint constructed against it picks up the same
+/// policy without threading the knobs through each entity's Config. With
+/// `reliable == false` (the default) the shim is pass-through: sends go out
+/// unwrapped and the clean-path wire format is byte-identical to a build
+/// without the shim.
+struct TransportConfig {
+  bool reliable = false;
+  Duration rto_initial = Duration::ms(250.0);  ///< first retransmit timeout
+  double rto_backoff = 2.0;                    ///< exponential backoff factor
+  Duration rto_max = Duration::ms(4000.0);     ///< backoff cap
+  std::uint32_t max_retransmits = 8;           ///< then the send is abandoned
+};
+
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
@@ -44,24 +58,39 @@ class Fabric {
 
   bool is_registered(NodeId id) const;
 
-  /// Send a PDU from -> to with network delay + accounting.
+  /// Send a PDU from -> to with network delay + accounting. When the
+  /// network's FaultPlane is enabled the PDU may be dropped, duplicated, or
+  /// delayed according to the fault verdict for this link.
   void send(NodeId from, NodeId to, proto::Pdu pdu);
 
   /// When disabled, skips the encode pass used for byte accounting
   /// (message counters still work) — for very large simulations.
   void set_byte_accounting(bool on) { account_bytes_ = on; }
 
+  /// Reliability-shim policy; endpoints snapshot this at construction, so
+  /// set it before building the world.
+  void set_transport(const TransportConfig& cfg) { transport_ = cfg; }
+  const TransportConfig& transport() const { return transport_; }
+
   std::uint64_t dropped() const { return dropped_; }
+
+  /// Zero the dead-endpoint drop counter together with the network's
+  /// transfer + fault counters (one measurement window, one reset).
+  void reset_counters();
+
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return network_; }
 
  private:
+  void deliver(NodeId from, NodeId to, proto::Pdu pdu, Duration latency);
+
   sim::Engine& engine_;
   sim::Network& network_;
   std::unordered_map<NodeId, Endpoint*> endpoints_;
   NodeId next_id_ = 1;
   bool account_bytes_ = true;
   std::uint64_t dropped_ = 0;
+  TransportConfig transport_;
 };
 
 }  // namespace scale::epc

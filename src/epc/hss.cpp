@@ -7,7 +7,7 @@ namespace scale::epc {
 
 Hss::Hss(Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
-      cpu_(fabric.engine()) {}
+      rel_(fabric, node_), cpu_(fabric.engine()) {}
 
 Hss::~Hss() { fabric_.remove_endpoint(node_); }
 
@@ -34,9 +34,11 @@ std::uint64_t Hss::f_res(std::uint64_t key, std::uint64_t rand) {
 }
 
 void Hss::receive(NodeId from, const proto::Pdu& pdu) {
-  const auto* s6 = std::get_if<proto::S6Message>(&pdu);
+  const proto::Pdu* app = rel_.unwrap(from, pdu);
+  if (app == nullptr) return;  // shim traffic (ack / suppressed duplicate)
+  const auto* s6 = std::get_if<proto::S6Message>(app);
   if (s6 == nullptr) {
-    SCALE_WARN("HSS received non-S6 PDU: " << proto::pdu_name(pdu));
+    SCALE_WARN("HSS received non-S6 PDU: " << proto::pdu_name(*app));
     return;
   }
   std::visit(
@@ -68,7 +70,7 @@ void Hss::handle_auth(NodeId from, const proto::AuthInfoRequest& req) {
       ans.xres = f_res(it->second.key, ans.rand);
     }
     ++auth_served_;
-    fabric_.send(node_, from, proto::make_pdu(ans));
+    rel_.send(from, proto::make_pdu(ans));
   });
 }
 
@@ -86,7 +88,7 @@ void Hss::handle_location(NodeId from,
       ans.ok = true;
       ans.profile_id = it->second.profile_id;
     }
-    fabric_.send(node_, from, proto::make_pdu(ans));
+    rel_.send(from, proto::make_pdu(ans));
   });
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "sim/cpu.h"
 
 namespace scale::epc {
@@ -27,6 +28,7 @@ class Hss : public Endpoint {
 
   NodeId node() const { return node_; }
   sim::CpuModel& cpu() { return cpu_; }
+  const ReliableChannel& transport() const { return rel_; }
 
   /// Register a subscriber with its permanent key K.
   void provision_subscriber(proto::Imsi imsi, std::uint64_t key,
@@ -59,6 +61,7 @@ class Hss : public Endpoint {
   Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  ReliableChannel rel_;
   sim::CpuModel cpu_;
   std::unordered_map<proto::Imsi, Subscriber> subscribers_;
   std::uint64_t rand_counter_ = 0x1234'5678;

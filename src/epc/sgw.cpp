@@ -6,14 +6,16 @@ namespace scale::epc {
 
 Sgw::Sgw(Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
-      cpu_(fabric.engine()) {}
+      rel_(fabric, node_), cpu_(fabric.engine()) {}
 
 Sgw::~Sgw() { fabric_.remove_endpoint(node_); }
 
 void Sgw::receive(NodeId from, const proto::Pdu& pdu) {
-  const auto* s11 = std::get_if<proto::S11Message>(&pdu);
+  const proto::Pdu* app = rel_.unwrap(from, pdu);
+  if (app == nullptr) return;  // shim traffic (ack / suppressed duplicate)
+  const auto* s11 = std::get_if<proto::S11Message>(app);
   if (s11 == nullptr) {
-    SCALE_WARN("S-GW received non-S11 PDU: " << proto::pdu_name(pdu));
+    SCALE_WARN("S-GW received non-S11 PDU: " << proto::pdu_name(*app));
     return;
   }
   handle_s11(from, *s11);
@@ -32,7 +34,7 @@ void Sgw::handle_s11(NodeId from, const proto::S11Message& msg) {
             proto::CreateSessionResponse resp;
             resp.mme_teid = m.mme_teid;
             resp.sgw_teid = teid;
-            fabric_.send(node_, from, proto::make_pdu(resp));
+            rel_.send(from, proto::make_pdu(resp));
           });
         } else if constexpr (std::is_same_v<T, proto::ModifyBearerRequest>) {
           cpu_.execute(cfg_.bearer_service_time, [this, from, m]() {
@@ -44,7 +46,7 @@ void Sgw::handle_s11(NodeId from, const proto::S11Message& msg) {
             }
             proto::ModifyBearerResponse resp;
             resp.mme_teid = m.mme_teid;
-            fabric_.send(node_, from, proto::make_pdu(resp));
+            rel_.send(from, proto::make_pdu(resp));
           });
         } else if constexpr (std::is_same_v<T,
                                             proto::ReleaseAccessBearersRequest>) {
@@ -53,7 +55,7 @@ void Sgw::handle_s11(NodeId from, const proto::S11Message& msg) {
             if (it != sessions_.end()) it->second.bearer_active = false;
             proto::ReleaseAccessBearersResponse resp;
             resp.mme_teid = m.mme_teid;
-            fabric_.send(node_, from, proto::make_pdu(resp));
+            rel_.send(from, proto::make_pdu(resp));
           });
         } else if constexpr (std::is_same_v<T, proto::DeleteSessionRequest>) {
           cpu_.execute(cfg_.session_service_time, [this, from, m]() {
@@ -64,7 +66,7 @@ void Sgw::handle_s11(NodeId from, const proto::S11Message& msg) {
             }
             proto::DeleteSessionResponse resp;
             resp.mme_teid = m.mme_teid;
-            fabric_.send(node_, from, proto::make_pdu(resp));
+            rel_.send(from, proto::make_pdu(resp));
           });
         } else if constexpr (std::is_same_v<T,
                                             proto::DownlinkDataNotificationAck>) {
@@ -88,7 +90,7 @@ bool Sgw::inject_downlink_data(proto::Teid sgw_teid) {
     proto::DownlinkDataNotification ddn;
     ddn.mme_teid = mme_teid;
     ++ddn_sent_;
-    fabric_.send(node_, control_node, proto::make_pdu(ddn));
+    rel_.send(control_node, proto::make_pdu(ddn));
   });
   return true;
 }

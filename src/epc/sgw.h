@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "sim/cpu.h"
 
 namespace scale::epc {
@@ -25,6 +26,7 @@ class Sgw : public Endpoint {
 
   NodeId node() const { return node_; }
   sim::CpuModel& cpu() { return cpu_; }
+  const ReliableChannel& transport() const { return rel_; }
 
   void receive(NodeId from, const proto::Pdu& pdu) override;
 
@@ -54,6 +56,7 @@ class Sgw : public Endpoint {
   Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  ReliableChannel rel_;
   sim::CpuModel cpu_;
   std::unordered_map<std::uint32_t, Session> sessions_;  // by sgw teid
   std::unordered_map<proto::Imsi, std::uint32_t> teid_by_imsi_;

@@ -6,6 +6,7 @@ namespace scale::mme {
 
 ClusterVm::ClusterVm(epc::Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      rel_(fabric, node_),
       cpu_(fabric.engine(), cfg.cpu_speed),
       util_(fabric.engine(), cpu_),
       app_(fabric.engine(), cpu_,
@@ -87,15 +88,19 @@ void ClusterVm::report_load() {
     report.cpu_util = util_.utilization() + cpu_.backlog().to_sec();
     report.active_devices = static_cast<std::uint32_t>(
         app_.store().count(ContextRole::kMaster));
-    fabric_.send(node_, lb_, proto::make_pdu(report));
+    // Unreliable by design: a lost report is superseded by the next one;
+    // retransmitting stale load would actively mislead the balancer.
+    rel_.send_unreliable(lb_, proto::make_pdu(report));
   }
   fabric_.engine().after(cfg_.load_report_interval, [this] { report_load(); });
 }
 
 void ClusterVm::receive(NodeId from, const proto::Pdu& pdu) {
-  const auto* cluster = std::get_if<proto::ClusterMessage>(&pdu);
+  const proto::Pdu* inner = rel_.unwrap(from, pdu);
+  if (inner == nullptr) return;  // shim traffic (ack / suppressed duplicate)
+  const auto* cluster = std::get_if<proto::ClusterMessage>(inner);
   if (cluster == nullptr) {
-    SCALE_WARN("cluster VM received bare " << proto::pdu_name(pdu)
+    SCALE_WARN("cluster VM received bare " << proto::pdu_name(*inner)
                                            << "; expected envelope");
     return;
   }
@@ -110,7 +115,7 @@ void ClusterVm::receive(NodeId from, const proto::Pdu& pdu) {
       ack.guti = rec.guti;
       ack.version = rec.version;
       ack.holder_dc = app_.config().home_dc;
-      fabric_.send(node_, from, proto::make_pdu(ack));
+      rel_.send(from, proto::make_pdu(ack));
     });
   } else if (const auto* xfer = std::get_if<proto::StateTransfer>(cluster)) {
     const proto::UeContextRecord rec = xfer->rec;
@@ -120,7 +125,7 @@ void ClusterVm::receive(NodeId from, const proto::Pdu& pdu) {
       if (ctx != nullptr) on_state_adopted(*ctx);
       proto::StateTransferAck ack;
       ack.guti = rec.guti;
-      fabric_.send(node_, from, proto::make_pdu(ack));
+      rel_.send(from, proto::make_pdu(ack));
     });
   } else if (const auto* del = std::get_if<proto::ReplicaDelete>(cluster)) {
     const std::uint64_t key = del->guti.key();
@@ -183,12 +188,12 @@ void ClusterVm::send_via_lb(NodeId target, proto::Pdu inner) {
   proto::ClusterReply reply;
   reply.target = target;
   reply.inner = proto::box(std::move(inner));
-  fabric_.send(node_, lb_, proto::make_pdu(std::move(reply)));
+  rel_.send(lb_, proto::make_pdu(std::move(reply)));
 }
 
 void ClusterVm::send_direct(NodeId target, proto::ClusterMessage msg) {
   if (failed_) return;
-  fabric_.send(node_, target, proto::pdu_of(std::move(msg)));
+  rel_.send(target, proto::pdu_of(std::move(msg)));
 }
 
 void ClusterVm::push_replica(NodeId target, const proto::UeContextRecord& rec,
@@ -200,7 +205,7 @@ void ClusterVm::push_replica(NodeId target, const proto::UeContextRecord& rec,
     proto::ReplicaPush push;
     push.rec = rec;
     push.geo = geo;
-    fabric_.send(node_, target, proto::pdu_of(proto::ClusterMessage{push}));
+    rel_.send(target, proto::pdu_of(proto::ClusterMessage{push}));
   });
 }
 

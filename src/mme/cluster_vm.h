@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "mme/mme_app.h"
 #include "sim/metrics.h"
 
@@ -59,6 +60,7 @@ class ClusterVm : public epc::Endpoint {
   std::uint64_t forwards_out() const { return forwards_out_; }
   std::uint64_t replicas_pushed() const { return replicas_pushed_; }
   std::uint64_t replicas_applied() const { return replicas_applied_; }
+  const epc::ReliableChannel& transport() const { return rel_; }
 
   void receive(NodeId from, const proto::Pdu& pdu) override;
 
@@ -100,6 +102,7 @@ class ClusterVm : public epc::Endpoint {
   epc::Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  epc::ReliableChannel rel_;
   sim::CpuModel cpu_;
   sim::UtilizationTracker util_;
   std::function<std::vector<NodeId>(proto::Tac)> paging_fn_;

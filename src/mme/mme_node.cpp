@@ -8,6 +8,7 @@ namespace scale::mme {
 
 MmeNode::MmeNode(epc::Fabric& fabric, Config cfg)
     : fabric_(fabric), cfg_(cfg), node_(fabric.add_endpoint(this)),
+      rel_(fabric, node_),
       cpu_(fabric.engine(), cfg.cpu_speed),
       util_(fabric.engine(), cpu_),
       app_(fabric.engine(), cpu_,
@@ -21,17 +22,15 @@ MmeNode::MmeNode(epc::Fabric& fabric, Config cfg)
            MmeAppHooks{
                .to_enb =
                    [this](NodeId enb, proto::S1apMessage m) {
-                     fabric_.send(node_, enb, proto::make_pdu(std::move(m)));
+                     rel_.send(enb, proto::make_pdu(std::move(m)));
                    },
                .to_sgw =
                    [this](const UeContext&, proto::S11Message m) {
-                     fabric_.send(node_, cfg_.sgw,
-                                  proto::make_pdu(std::move(m)));
+                     rel_.send(cfg_.sgw, proto::make_pdu(std::move(m)));
                    },
                .to_hss =
                    [this](proto::S6Message m) {
-                     fabric_.send(node_, cfg_.hss,
-                                  proto::make_pdu(std::move(m)));
+                     rel_.send(cfg_.hss, proto::make_pdu(std::move(m)));
                    },
                .paging_enbs =
                    [this](proto::Tac tac) {
@@ -83,6 +82,8 @@ void MmeNode::set_paging_enbs(
 }
 
 void MmeNode::receive(NodeId from, const proto::Pdu& pdu) {
+  const proto::Pdu* unwrapped = rel_.unwrap(from, pdu);
+  if (unwrapped == nullptr) return;  // shim traffic (ack / duplicate)
   std::visit(
       [this, from](const auto& family) {
         using T = std::decay_t<decltype(family)>;
@@ -104,7 +105,7 @@ void MmeNode::receive(NodeId from, const proto::Pdu& pdu) {
                            app_.adopt(rec, epc::ContextRole::kMaster);
                            proto::StateTransferAck ack;
                            ack.guti = rec.guti;
-                           fabric_.send(node_, from, proto::make_pdu(ack));
+                           rel_.send(from, proto::make_pdu(ack));
                          });
           }
           // StateTransferAck and other cluster messages: bookkeeping only.
@@ -112,7 +113,7 @@ void MmeNode::receive(NodeId from, const proto::Pdu& pdu) {
           SCALE_WARN("MME ignoring unexpected PDU family");
         }
       },
-      pdu);
+      *unwrapped);
 }
 
 bool MmeNode::admission_gate(NodeId enb, const proto::InitialUeMessage& msg,
@@ -156,13 +157,13 @@ void MmeNode::shed_context(UeContext& ctx, MmeNode& peer, NodeId enb,
       [this, rec, key, peer_node, enb, enb_ue_id]() {
         proto::StateTransfer xfer;
         xfer.rec = rec;
-        fabric_.send(node_, peer_node, proto::make_pdu(xfer));
+        rel_.send(peer_node, proto::make_pdu(xfer));
         proto::UeContextReleaseCommand rel;
         rel.enb_id = enb;
         rel.enb_ue_id = enb_ue_id;
         rel.mme_ue_id = rec.mme_ue_id;
         rel.cause = proto::ReleaseCause::kLoadBalancingTauRequired;
-        fabric_.send(node_, enb, proto::make_pdu(rel));
+        rel_.send(enb, proto::make_pdu(rel));
         app_.remove_context(key);
       });
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "epc/fabric.h"
+#include "epc/reliable.h"
 #include "mme/mme_app.h"
 #include "sim/metrics.h"
 
@@ -72,6 +73,7 @@ class MmeNode : public epc::Endpoint {
   epc::Fabric& fabric_;
   Config cfg_;
   NodeId node_;
+  epc::ReliableChannel rel_;
   sim::CpuModel cpu_;
   sim::UtilizationTracker util_;
   std::function<std::vector<NodeId>(proto::Tac)> paging_fn_storage_;

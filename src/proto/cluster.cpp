@@ -255,6 +255,44 @@ StateFetchResp StateFetchResp::decode(ByteReader& r) {
   return m;
 }
 
+void TransportData::encode(ByteWriter& w) const {
+  w.u64(seq);
+  w.u32(attempt);
+  encode_boxed(inner, w);
+}
+
+TransportData TransportData::decode(ByteReader& r) {
+  TransportData m;
+  m.seq = r.u64();
+  m.attempt = r.u32();
+  m.inner = decode_boxed(r);
+  return m;
+}
+
+void TransportAck::encode(ByteWriter& w) const { w.u64(seq); }
+
+TransportAck TransportAck::decode(ByteReader& r) {
+  return TransportAck{.seq = r.u64()};
+}
+
+void OverloadReject::encode(ByteWriter& w) const {
+  w.u32(mmp_node);
+  w.u32(origin);
+  guti.encode(w);
+  w.u64(backoff_us);
+  encode_boxed(inner, w);
+}
+
+OverloadReject OverloadReject::decode(ByteReader& r) {
+  OverloadReject m;
+  m.mmp_node = r.u32();
+  m.origin = r.u32();
+  m.guti = Guti::decode(r);
+  m.backoff_us = r.u64();
+  m.inner = decode_boxed(r);
+  return m;
+}
+
 void encode_cluster(const ClusterMessage& msg, ByteWriter& w) {
   std::visit(
       [&w](const auto& m) {
@@ -282,6 +320,9 @@ ClusterMessage decode_cluster(ByteReader& r) {
     case ClusterType::kGeoEvictRequest: return GeoEvictRequest::decode(r);
     case ClusterType::kStateFetch: return StateFetch::decode(r);
     case ClusterType::kStateFetchResp: return StateFetchResp::decode(r);
+    case ClusterType::kTransportData: return TransportData::decode(r);
+    case ClusterType::kTransportAck: return TransportAck::decode(r);
+    case ClusterType::kOverloadReject: return OverloadReject::decode(r);
   }
   throw CodecError("unknown cluster type " +
                    std::to_string(static_cast<int>(type)));
@@ -319,8 +360,14 @@ const char* cluster_name(const ClusterMessage& msg) {
           return "GeoEvictRequest";
         else if constexpr (std::is_same_v<T, StateFetch>)
           return "StateFetch";
-        else
+        else if constexpr (std::is_same_v<T, StateFetchResp>)
           return "StateFetchResp";
+        else if constexpr (std::is_same_v<T, TransportData>)
+          return "TransportData";
+        else if constexpr (std::is_same_v<T, TransportAck>)
+          return "TransportAck";
+        else
+          return "OverloadReject";
       },
       msg);
 }

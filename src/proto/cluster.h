@@ -65,6 +65,9 @@ enum class ClusterType : std::uint8_t {
   kGeoEvictRequest = 13,
   kStateFetch = 14,
   kStateFetchResp = 15,
+  kTransportData = 16,
+  kTransportAck = 17,
+  kOverloadReject = 18,
 };
 
 /// MLB → MMP: a standard-interface PDU forwarded into the cluster. `origin`
@@ -247,11 +250,54 @@ struct StateFetchResp {
   static StateFetchResp decode(ByteReader& r);
 };
 
+/// Reliability-shim segment (epc/reliable.h): the inner PDU plus a per-
+/// (sender -> receiver) sequence number, mirroring an SCTP DATA chunk. The
+/// receiver acks every segment and deduplicates by `seq`, so retransmitted
+/// or fault-duplicated PDUs never double-execute a procedure.
+struct TransportData {
+  static constexpr ClusterType kType = ClusterType::kTransportData;
+  std::uint64_t seq = 0;
+  /// > 0 on retransmissions (diagnostic; not used for dedup).
+  std::uint32_t attempt = 0;
+  PduRef inner;
+
+  void encode(ByteWriter& w) const;
+  static TransportData decode(ByteReader& r);
+};
+
+/// Reliability-shim SACK: acknowledges exactly one TransportData segment.
+/// Acks are sent unreliably (an ack of an ack would loop forever); a lost
+/// ack simply costs one retransmission, which dedup absorbs.
+struct TransportAck {
+  static constexpr ClusterType kType = ClusterType::kTransportAck;
+  std::uint64_t seq = 0;
+
+  void encode(ByteWriter& w) const;
+  static TransportAck decode(ByteReader& r);
+};
+
+/// Overloaded MMP → MLB: the ingress queue is saturated and this request
+/// was shed. Carries the routing key so the MLB can re-steer the request to
+/// a replica, plus a backoff hint during which the MLB should avoid handing
+/// this VM new work ("graceful degradation instead of silent queue growth").
+struct OverloadReject {
+  static constexpr ClusterType kType = ClusterType::kOverloadReject;
+  std::uint32_t mmp_node = 0;      ///< the shedding VM
+  std::uint32_t origin = 0;        ///< external node awaiting a reply
+  Guti guti;
+  std::uint64_t backoff_us = 0;    ///< steer-away hint for the MLB
+  PduRef inner;                    ///< the shed request, for re-steering
+
+  void encode(ByteWriter& w) const;
+  static OverloadReject decode(ByteReader& r);
+};
+
 using ClusterMessage =
     std::variant<ClusterForward, ClusterReply, ReplicaPush, ReplicaAck,
                  ReplicaDelete, StateTransfer, StateTransferAck, LoadReport,
                  RingUpdate, GeoBudgetGossip, GeoForward, GeoReject,
-                 GeoEvictRequest, StateFetch, StateFetchResp>;
+                 GeoEvictRequest, StateFetch, StateFetchResp, TransportData,
+                 TransportAck, OverloadReject>;
 
 void encode_cluster(const ClusterMessage& msg, ByteWriter& w);
 ClusterMessage decode_cluster(ByteReader& r);

@@ -19,6 +19,24 @@ namespace scale::sim {
 
 class Engine;
 
+/// Per-cause accounting for the FaultPlane (the fault-injection layer in
+/// sim/network + epc/fabric). One instance lives inside Network and resets
+/// together with the transfer counters, so chaos runs can be fingerprinted
+/// and compared window by window.
+struct FaultCounters {
+  std::uint64_t random_drops = 0;     ///< LinkFaults::drop_prob losses
+  std::uint64_t link_down_drops = 0;  ///< scripted link-down windows
+  std::uint64_t partition_drops = 0;  ///< scripted DC-partition windows
+  std::uint64_t duplicates = 0;       ///< extra PDU copies injected
+  std::uint64_t reorders = 0;         ///< PDUs displaced by extra delay
+
+  std::uint64_t total_drops() const {
+    return random_drops + link_down_drops + partition_drops;
+  }
+  void reset() { *this = FaultCounters{}; }
+  bool operator==(const FaultCounters&) const = default;
+};
+
 class DelayRecorder {
  public:
   /// cap > 0 reservoir-samples each bucket (0 keeps everything).

@@ -4,8 +4,16 @@
 
 namespace scale::sim {
 
+namespace {
+// Keeps the fault stream decorrelated from the jitter stream when both are
+// derived from the same user-facing seed.
+constexpr std::uint64_t kFaultSeedSalt = 0xFA517EDB17E5ull;
+}  // namespace
+
 Network::Network(Duration default_latency, std::uint64_t jitter_seed)
-    : default_latency_(default_latency), rng_(jitter_seed) {}
+    : default_latency_(default_latency),
+      rng_(jitter_seed),
+      fault_rng_(jitter_seed ^ kFaultSeedSalt) {}
 
 void Network::set_latency(NodeId a, NodeId b, Duration latency,
                           bool symmetric) {
@@ -70,6 +78,133 @@ void Network::reset_counters() {
   messages_ = 0;
   bytes_ = 0;
   pair_messages_.clear();
+  fault_counters_.reset();
+}
+
+// --- FaultPlane -------------------------------------------------------------
+
+void Network::set_global_faults(const LinkFaults& faults) {
+  SCALE_CHECK(faults.drop_prob >= 0.0 && faults.drop_prob <= 1.0);
+  SCALE_CHECK(faults.dup_prob >= 0.0 && faults.dup_prob <= 1.0);
+  SCALE_CHECK(faults.reorder_prob >= 0.0 && faults.reorder_prob <= 1.0);
+  global_faults_ = faults;
+  has_global_faults_ = faults.any();
+  faults_enabled_ = true;
+}
+
+void Network::set_link_faults(NodeId a, NodeId b, const LinkFaults& faults,
+                              bool symmetric) {
+  SCALE_CHECK(faults.drop_prob >= 0.0 && faults.drop_prob <= 1.0);
+  SCALE_CHECK(faults.dup_prob >= 0.0 && faults.dup_prob <= 1.0);
+  SCALE_CHECK(faults.reorder_prob >= 0.0 && faults.reorder_prob <= 1.0);
+  link_faults_[pair_key(a, b)] = faults;
+  if (symmetric) link_faults_[pair_key(b, a)] = faults;
+  faults_enabled_ = true;
+}
+
+void Network::clear_faults() {
+  global_faults_ = LinkFaults{};
+  has_global_faults_ = false;
+  link_faults_.clear();
+  link_down_.clear();
+  partitions_.clear();
+  spikes_.clear();
+  faults_enabled_ = false;
+}
+
+void Network::set_fault_seed(std::uint64_t seed) {
+  fault_rng_ = Rng(seed ^ kFaultSeedSalt);
+}
+
+void Network::schedule_link_down(NodeId a, NodeId b, Time from, Time until,
+                                 bool symmetric) {
+  SCALE_CHECK(until > from);
+  link_down_[pair_key(a, b)].push_back({from, until, 1.0});
+  if (symmetric) link_down_[pair_key(b, a)].push_back({from, until, 1.0});
+  faults_enabled_ = true;
+}
+
+void Network::schedule_partition(std::uint32_t dc_a, std::uint32_t dc_b,
+                                 Time from, Time until) {
+  SCALE_CHECK(until > from);
+  SCALE_CHECK(dc_a != dc_b);
+  partitions_[pair_key(dc_a, dc_b)].push_back({from, until, 1.0});
+  partitions_[pair_key(dc_b, dc_a)].push_back({from, until, 1.0});
+  faults_enabled_ = true;
+}
+
+void Network::schedule_latency_spike(std::uint32_t dc_a, std::uint32_t dc_b,
+                                     Time from, Time until, double factor) {
+  SCALE_CHECK(until > from);
+  SCALE_CHECK(factor >= 1.0);
+  spikes_[pair_key(dc_a, dc_b)].push_back({from, until, factor});
+  if (dc_a != dc_b) spikes_[pair_key(dc_b, dc_a)].push_back({from, until, factor});
+  faults_enabled_ = true;
+}
+
+bool Network::window_active(const std::vector<TimedFault>& windows, Time now) {
+  for (const auto& w : windows) {
+    if (now >= w.from && now < w.until) return true;
+  }
+  return false;
+}
+
+FaultVerdict Network::fault_verdict(NodeId a, NodeId b, Time now) {
+  FaultVerdict v;
+  if (!faults_enabled_) return v;
+
+  // Scripted faults first: deterministic windows, no Rng consumed, so a
+  // partition never shifts the stochastic draw sequence of other links.
+  if (!link_down_.empty()) {
+    const auto it = link_down_.find(pair_key(a, b));
+    if (it != link_down_.end() && window_active(it->second, now)) {
+      ++fault_counters_.link_down_drops;
+      v.deliver = false;
+      return v;
+    }
+  }
+  const std::uint32_t dc_a = dc_of(a), dc_b = dc_of(b);
+  if (!partitions_.empty() && dc_a != dc_b) {
+    const auto it = partitions_.find(pair_key(dc_a, dc_b));
+    if (it != partitions_.end() && window_active(it->second, now)) {
+      ++fault_counters_.partition_drops;
+      v.deliver = false;
+      return v;
+    }
+  }
+  if (!spikes_.empty()) {
+    const auto it = spikes_.find(pair_key(dc_a, dc_b));
+    if (it != spikes_.end()) {
+      for (const auto& w : it->second) {
+        if (now >= w.from && now < w.until) v.latency_factor *= w.factor;
+      }
+    }
+  }
+
+  // Stochastic faults: per-link spec wins over the global spec. Draws happen
+  // in a fixed order (drop, dup, reorder) so same-seed runs replay exactly.
+  const LinkFaults* spec = nullptr;
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find(pair_key(a, b));
+    if (it != link_faults_.end()) spec = &it->second;
+  }
+  if (spec == nullptr && has_global_faults_) spec = &global_faults_;
+  if (spec == nullptr) return v;
+
+  if (spec->drop_prob > 0.0 && fault_rng_.chance(spec->drop_prob)) {
+    ++fault_counters_.random_drops;
+    v.deliver = false;
+    return v;
+  }
+  if (spec->dup_prob > 0.0 && fault_rng_.chance(spec->dup_prob)) {
+    ++fault_counters_.duplicates;
+    v.duplicate = true;
+  }
+  if (spec->reorder_prob > 0.0 && fault_rng_.chance(spec->reorder_prob)) {
+    ++fault_counters_.reorders;
+    v.extra_delay = spec->reorder_window;
+  }
+  return v;
 }
 
 }  // namespace scale::sim

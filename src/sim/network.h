@@ -5,18 +5,52 @@
 // pairs fall back to a default. Optional multiplicative jitter models
 // queueing noise on the path. Byte/message counters expose the signaling
 // overhead that Figs. 2(c) and 8(b,c) attribute to reactive reassignment.
+//
+// FaultPlane: the network additionally owns the deterministic fault model —
+// per-link / global stochastic faults (drop, duplicate, reorder-delay) and
+// scripted timed faults (link down, DC partition, latency spike). Faults are
+// driven by a dedicated Rng, separate from the jitter Rng, so the clean path
+// consumes zero fault draws and enabling jitter never perturbs fault
+// outcomes (and vice versa). Scripted windows are checked before any
+// stochastic draw, so scripted outcomes consume no randomness at all —
+// same-seed runs replay byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/time.h"
+#include "sim/metrics.h"
 
 namespace scale::sim {
 
 /// Identifier of an addressable entity (UE, eNodeB, MLB, MMP, S-GW, HSS...).
 using NodeId = std::uint32_t;
+
+/// Stochastic fault spec for one link (or, as the global spec, for every
+/// link without a per-link override). Probabilities are per-PDU.
+struct LinkFaults {
+  double drop_prob = 0.0;     ///< PDU silently lost
+  double dup_prob = 0.0;      ///< PDU delivered twice
+  double reorder_prob = 0.0;  ///< PDU delayed by reorder_window (overtaken)
+  Duration reorder_window = Duration::ms(2.0);
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0;
+  }
+};
+
+/// Outcome of consulting the FaultPlane for one PDU on one link.
+struct FaultVerdict {
+  bool deliver = true;
+  bool duplicate = false;
+  /// Extra delay added on top of the configured latency (reorder faults).
+  Duration extra_delay = Duration::zero();
+  /// Multiplier on the configured latency (scripted latency spikes).
+  double latency_factor = 1.0;
+};
 
 class Network {
  public:
@@ -54,12 +88,55 @@ class Network {
   std::uint64_t bytes_sent() const { return bytes_; }
   std::uint64_t messages_between(NodeId a, NodeId b) const;
 
+  /// Resets transfer AND fault counters (they fingerprint the same window).
   void reset_counters();
 
+  // --- FaultPlane -----------------------------------------------------------
+
+  /// Stochastic faults applied to every link without a per-link override.
+  void set_global_faults(const LinkFaults& faults);
+  /// Per-link override; with symmetric=true applies to both directions.
+  void set_link_faults(NodeId a, NodeId b, const LinkFaults& faults,
+                       bool symmetric = true);
+  /// Remove all fault specs and scripted windows (counters are kept; use
+  /// reset_counters() to clear them).
+  void clear_faults();
+  /// Reseed the fault Rng (e.g. to replay a chaos window from a checkpoint).
+  /// Independent of the jitter Rng.
+  void set_fault_seed(std::uint64_t seed);
+
+  /// Scripted faults: [from, until) windows evaluated deterministically
+  /// before any stochastic draw (they consume no randomness).
+  void schedule_link_down(NodeId a, NodeId b, Time from, Time until,
+                          bool symmetric = true);
+  /// Severs every cross-DC link between dc_a and dc_b (both directions).
+  void schedule_partition(std::uint32_t dc_a, std::uint32_t dc_b, Time from,
+                          Time until);
+  /// Multiplies configured latency between the two DCs by `factor`.
+  void schedule_latency_spike(std::uint32_t dc_a, std::uint32_t dc_b,
+                              Time from, Time until, double factor);
+
+  /// False until the first fault spec / scripted window is installed; the
+  /// fabric's clean path pays exactly one branch on this.
+  bool faults_enabled() const { return faults_enabled_; }
+
+  /// Decide the fate of one PDU on link a -> b at simulated time `now`.
+  /// Mutates fault counters and (for stochastic faults) the fault Rng.
+  FaultVerdict fault_verdict(NodeId a, NodeId b, Time now);
+
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
  private:
+  struct TimedFault {
+    Time from;
+    Time until;
+    double factor = 1.0;  // latency spikes only
+  };
+
   static std::uint64_t pair_key(NodeId a, NodeId b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
+  static bool window_active(const std::vector<TimedFault>& windows, Time now);
 
   Duration default_latency_;
   double jitter_ = 0.0;
@@ -70,6 +147,18 @@ class Network {
   std::unordered_map<std::uint64_t, std::uint64_t> pair_messages_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+
+  // FaultPlane state. fault_rng_ is distinct from rng_ (jitter) so the two
+  // subsystems never perturb each other's draw sequences.
+  bool faults_enabled_ = false;
+  Rng fault_rng_;
+  LinkFaults global_faults_;
+  bool has_global_faults_ = false;
+  std::unordered_map<std::uint64_t, LinkFaults> link_faults_;
+  std::unordered_map<std::uint64_t, std::vector<TimedFault>> link_down_;
+  std::unordered_map<std::uint64_t, std::vector<TimedFault>> partitions_;
+  std::unordered_map<std::uint64_t, std::vector<TimedFault>> spikes_;
+  FaultCounters fault_counters_;
 };
 
 }  // namespace scale::sim

@@ -1,0 +1,65 @@
+// CrashWorld — a one-site SCALE deployment (Testbed + one ScaleCluster
+// wired to it) shared by the failure-injection and chaos tests. The site
+// (eNodeBs + S-GW) and the HSS live in DC `0`; the cluster's MLB/MMP VMs
+// can be placed in a different DC so a test can cut the eNB↔MLB path with
+// Network::schedule_partition.
+#pragma once
+
+#include <memory>
+
+#include "core/cluster.h"
+#include "testbed/testbed.h"
+
+namespace scale::testbed {
+
+struct CrashWorld {
+  struct Options {
+    unsigned local_copies = 2;
+    std::size_t mmps = 4;
+    /// DC id for every MLB/MMP node. Leave at 0 to co-locate with the
+    /// site; set to 1 so schedule_partition(0, 1, ...) isolates the
+    /// whole control plane from radio, S-GW and HSS.
+    std::uint32_t cluster_dc = 0;
+    /// Guard/backoff tuned for short tests; override freely (e.g. to
+    /// enable the reliable transport or fault injection seeds).
+    Testbed::Config tb;
+    /// initial_mmps / policy.local_copies are overwritten from above.
+    core::ScaleCluster::Config cluster;
+
+    Options() {
+      tb.ue_guard_timeout = Duration::sec(5.0);
+      tb.reattach_backoff = Duration::ms(200.0);
+    }
+  };
+
+  Testbed tb;
+  Testbed::Site* site;
+  std::unique_ptr<core::ScaleCluster> cluster;
+
+  explicit CrashWorld(Options opt) : tb(opt.tb) {
+    site = &tb.add_site(1);
+    core::ScaleCluster::Config cfg = opt.cluster;
+    cfg.initial_mmps = opt.mmps;
+    cfg.policy.local_copies = opt.local_copies;
+    cluster = std::make_unique<core::ScaleCluster>(
+        tb.fabric(), site->sgw->node(), tb.hss().node(), cfg);
+    cluster->connect_enb(site->enb(0));
+    if (opt.cluster_dc != 0) {
+      for (auto& m : cluster->mlbs()) tb.assign_dc(m->node(), opt.cluster_dc);
+      for (auto& m : cluster->mmps()) tb.assign_dc(m->node(), opt.cluster_dc);
+    }
+  }
+
+  explicit CrashWorld(unsigned local_copies, std::size_t mmps = 4)
+      : CrashWorld(make_options(local_copies, mmps)) {}
+
+ private:
+  static Options make_options(unsigned local_copies, std::size_t mmps) {
+    Options o;
+    o.local_copies = local_copies;
+    o.mmps = mmps;
+    return o;
+  }
+};
+
+}  // namespace scale::testbed

@@ -23,6 +23,9 @@ Testbed::Testbed(Config cfg)
     : cfg_(cfg), network_(cfg.default_latency, cfg.seed ^ 0xABCD),
       fabric_(engine_, network_), delays_(cfg.delay_sample_cap),
       rng_(cfg.seed) {
+  // Must precede every endpoint: each ReliableChannel snapshots the
+  // fabric's transport config at construction.
+  fabric_.set_transport(cfg.transport);
   hss_ = std::make_unique<epc::Hss>(fabric_);
 }
 

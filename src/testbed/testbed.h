@@ -36,6 +36,10 @@ class Testbed {
     Duration reattach_backoff = Duration::ms(100.0);
     Duration ue_guard_timeout = Duration::sec(30.0);
     std::uint64_t seed = 1;
+    /// Control-plane transport (retransmission shim). Applied to the
+    /// fabric before any endpoint is built, so every node in the testbed
+    /// sees the same setting. Default = pass-through (seed behaviour).
+    epc::TransportConfig transport;
   };
 
   struct Site {

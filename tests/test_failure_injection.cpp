@@ -4,37 +4,13 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.h"
-#include "testbed/testbed.h"
+#include "testbed/crash_world.h"
 
 namespace scale {
 namespace {
 
 using epc::ContextRole;
-using testbed::Testbed;
-
-struct CrashWorld {
-  Testbed tb;
-  Testbed::Site* site;
-  std::unique_ptr<core::ScaleCluster> cluster;
-
-  static Testbed::Config tb_cfg() {
-    Testbed::Config tcfg;
-    tcfg.ue_guard_timeout = Duration::sec(5.0);
-    tcfg.reattach_backoff = Duration::ms(200.0);
-    return tcfg;
-  }
-
-  explicit CrashWorld(unsigned local_copies, std::size_t mmps = 4)
-      : tb(tb_cfg()) {
-    site = &tb.add_site(1);
-    core::ScaleCluster::Config cfg;
-    cfg.initial_mmps = mmps;
-    cfg.policy.local_copies = local_copies;
-    cluster = std::make_unique<core::ScaleCluster>(
-        tb.fabric(), site->sgw->node(), tb.hss().node(), cfg);
-    cluster->connect_enb(site->enb(0));
-  }
-};
+using testbed::CrashWorld;
 
 TEST(FailureInjection, ReplicasCarryTheDeadVmsDevices) {
   CrashWorld w(/*local_copies=*/2);

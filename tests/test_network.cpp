@@ -81,5 +81,196 @@ TEST(Network, TransferAccounting) {
   EXPECT_EQ(net.bytes_sent(), 0u);
 }
 
+TEST(FaultPlane, DisabledByDefault) {
+  Network net;
+  EXPECT_FALSE(net.faults_enabled());
+  const FaultVerdict v = net.fault_verdict(1, 2, Time::zero());
+  EXPECT_TRUE(v.deliver);
+  EXPECT_FALSE(v.duplicate);
+  EXPECT_EQ(v.extra_delay, Duration::zero());
+  EXPECT_EQ(v.latency_factor, 1.0);
+}
+
+TEST(FaultPlane, ScriptedLinkDownWindow) {
+  Network net;
+  net.schedule_link_down(1, 2, Time::from_sec(1.0), Time::from_sec(2.0));
+  EXPECT_TRUE(net.faults_enabled());
+  EXPECT_TRUE(net.fault_verdict(1, 2, Time::from_sec(0.5)).deliver);
+  EXPECT_FALSE(net.fault_verdict(1, 2, Time::from_sec(1.5)).deliver);
+  EXPECT_FALSE(net.fault_verdict(2, 1, Time::from_sec(1.5)).deliver);
+  // Half-open window: [from, until).
+  EXPECT_TRUE(net.fault_verdict(1, 2, Time::from_sec(2.0)).deliver);
+  // Unrelated link is untouched.
+  EXPECT_TRUE(net.fault_verdict(1, 3, Time::from_sec(1.5)).deliver);
+  EXPECT_EQ(net.fault_counters().link_down_drops, 2u);
+  EXPECT_EQ(net.fault_counters().total_drops(), 2u);
+}
+
+TEST(FaultPlane, PartitionSeversCrossDcLinksOnly) {
+  Network net;
+  net.set_node_dc(10, 0);
+  net.set_node_dc(20, 1);
+  net.set_node_dc(30, 0);
+  net.schedule_partition(0, 1, Time::from_sec(1.0), Time::from_sec(3.0));
+  EXPECT_FALSE(net.fault_verdict(10, 20, Time::from_sec(2.0)).deliver);
+  EXPECT_FALSE(net.fault_verdict(20, 10, Time::from_sec(2.0)).deliver);
+  // Same-DC traffic flows through the partition.
+  EXPECT_TRUE(net.fault_verdict(10, 30, Time::from_sec(2.0)).deliver);
+  // Before/after the window the cross-DC link works.
+  EXPECT_TRUE(net.fault_verdict(10, 20, Time::from_sec(0.5)).deliver);
+  EXPECT_TRUE(net.fault_verdict(10, 20, Time::from_sec(3.0)).deliver);
+  EXPECT_EQ(net.fault_counters().partition_drops, 2u);
+}
+
+TEST(FaultPlane, LatencySpikeMultipliesCrossDcLatency) {
+  Network net;
+  net.set_node_dc(20, 1);
+  net.schedule_latency_spike(0, 1, Time::from_sec(1.0), Time::from_sec(2.0),
+                             10.0);
+  const FaultVerdict in = net.fault_verdict(10, 20, Time::from_sec(1.5));
+  EXPECT_TRUE(in.deliver);
+  EXPECT_EQ(in.latency_factor, 10.0);
+  const FaultVerdict out = net.fault_verdict(10, 20, Time::from_sec(2.5));
+  EXPECT_EQ(out.latency_factor, 1.0);
+}
+
+TEST(FaultPlane, StochasticDropDupReorder) {
+  Network net;
+  LinkFaults f;
+  f.drop_prob = 1.0;
+  net.set_global_faults(f);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(net.fault_verdict(1, 2, Time::zero()).deliver);
+  EXPECT_EQ(net.fault_counters().random_drops, 10u);
+
+  f.drop_prob = 0.0;
+  f.dup_prob = 1.0;
+  f.reorder_prob = 1.0;
+  f.reorder_window = Duration::ms(7.0);
+  net.set_global_faults(f);
+  const FaultVerdict v = net.fault_verdict(1, 2, Time::zero());
+  EXPECT_TRUE(v.deliver);
+  EXPECT_TRUE(v.duplicate);
+  EXPECT_EQ(v.extra_delay, Duration::ms(7.0));
+  EXPECT_EQ(net.fault_counters().duplicates, 1u);
+  EXPECT_EQ(net.fault_counters().reorders, 1u);
+}
+
+TEST(FaultPlane, PerLinkSpecOverridesGlobal) {
+  Network net;
+  LinkFaults lossy;
+  lossy.drop_prob = 1.0;
+  net.set_global_faults(lossy);
+  net.set_link_faults(1, 2, LinkFaults{});  // clean override
+  EXPECT_TRUE(net.fault_verdict(1, 2, Time::zero()).deliver);
+  EXPECT_TRUE(net.fault_verdict(2, 1, Time::zero()).deliver);
+  EXPECT_FALSE(net.fault_verdict(1, 3, Time::zero()).deliver);
+}
+
+TEST(FaultPlane, SameSeedReplaysIdentically) {
+  Network a(Duration::us(500), 1234);
+  Network b(Duration::us(500), 1234);
+  LinkFaults f;
+  f.drop_prob = 0.3;
+  f.dup_prob = 0.2;
+  f.reorder_prob = 0.1;
+  a.set_global_faults(f);
+  b.set_global_faults(f);
+  for (int i = 0; i < 500; ++i) {
+    const FaultVerdict va = a.fault_verdict(1, 2, Time::zero());
+    const FaultVerdict vb = b.fault_verdict(1, 2, Time::zero());
+    EXPECT_EQ(va.deliver, vb.deliver);
+    EXPECT_EQ(va.duplicate, vb.duplicate);
+    EXPECT_EQ(va.extra_delay, vb.extra_delay);
+  }
+  EXPECT_EQ(a.fault_counters(), b.fault_counters());
+}
+
+TEST(FaultPlane, FaultStreamIndependentOfJitterStream) {
+  // Jitter draws between verdicts must not perturb fault outcomes: the two
+  // subsystems own separate Rngs.
+  Network quiet(Duration::us(500), 77);
+  Network noisy(Duration::us(500), 77);
+  noisy.set_jitter(0.3);
+  LinkFaults f;
+  f.drop_prob = 0.5;
+  quiet.set_global_faults(f);
+  noisy.set_global_faults(f);
+  for (int i = 0; i < 300; ++i) {
+    (void)noisy.delay(1, 2);  // consumes jitter randomness
+    EXPECT_EQ(quiet.fault_verdict(1, 2, Time::zero()).deliver,
+              noisy.fault_verdict(1, 2, Time::zero()).deliver);
+  }
+}
+
+TEST(FaultPlane, ScriptedWindowsConsumeNoRandomness) {
+  // A link-down drop is decided before any draw, so the stochastic stream
+  // of other links is unaffected by how many scripted drops occurred.
+  Network a(Duration::us(500), 9);
+  Network b(Duration::us(500), 9);
+  LinkFaults f;
+  f.drop_prob = 0.5;
+  a.set_global_faults(f);
+  b.set_global_faults(f);
+  b.schedule_link_down(8, 9, Time::zero(), Time::from_sec(10.0));
+  for (int i = 0; i < 200; ++i) {
+    // Only b sees (and drops) the scripted link's traffic...
+    EXPECT_FALSE(b.fault_verdict(8, 9, Time::from_sec(1.0)).deliver);
+    // ...yet the shared stochastic link stays in lockstep.
+    EXPECT_EQ(a.fault_verdict(1, 2, Time::from_sec(1.0)).deliver,
+              b.fault_verdict(1, 2, Time::from_sec(1.0)).deliver);
+  }
+}
+
+TEST(FaultPlane, ResetCountersClearsFaultCountersToo) {
+  Network net;
+  LinkFaults f;
+  f.drop_prob = 1.0;
+  net.set_global_faults(f);
+  net.record_transfer(1, 2, 64);
+  (void)net.fault_verdict(1, 2, Time::zero());
+  net.schedule_link_down(3, 4, Time::zero(), Time::from_sec(1.0));
+  (void)net.fault_verdict(3, 4, Time::from_sec(0.5));
+  ASSERT_GT(net.fault_counters().total_drops(), 0u);
+
+  net.reset_counters();
+  EXPECT_EQ(net.messages_sent(), 0u);
+  EXPECT_EQ(net.bytes_sent(), 0u);
+  EXPECT_EQ(net.fault_counters(), FaultCounters{});
+  // Specs survive a counter reset (measurement window ends; faults do not).
+  EXPECT_TRUE(net.faults_enabled());
+  EXPECT_FALSE(net.fault_verdict(1, 2, Time::zero()).deliver);
+}
+
+TEST(FaultPlane, ClearFaultsDisablesButKeepsCounters) {
+  Network net;
+  LinkFaults f;
+  f.drop_prob = 1.0;
+  net.set_global_faults(f);
+  (void)net.fault_verdict(1, 2, Time::zero());
+  net.clear_faults();
+  EXPECT_FALSE(net.faults_enabled());
+  EXPECT_TRUE(net.fault_verdict(1, 2, Time::zero()).deliver);
+  EXPECT_EQ(net.fault_counters().random_drops, 1u);
+}
+
+TEST(FaultPlane, Validation) {
+  Network net;
+  LinkFaults bad;
+  bad.drop_prob = 1.5;
+  EXPECT_THROW(net.set_global_faults(bad), scale::CheckError);
+  bad.drop_prob = -0.1;
+  EXPECT_THROW(net.set_link_faults(1, 2, bad), scale::CheckError);
+  EXPECT_THROW(
+      net.schedule_link_down(1, 2, Time::from_sec(2.0), Time::from_sec(1.0)),
+      scale::CheckError);
+  EXPECT_THROW(
+      net.schedule_partition(1, 1, Time::zero(), Time::from_sec(1.0)),
+      scale::CheckError);
+  EXPECT_THROW(net.schedule_latency_spike(0, 1, Time::zero(),
+                                          Time::from_sec(1.0), 0.5),
+               scale::CheckError);
+}
+
 }  // namespace
 }  // namespace scale::sim
