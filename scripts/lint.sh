@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Static-analysis leg (DESIGN.md §6): ScaleLint + clang-tidy.
+#
+#   leg 1  scale_lint — repo-specific determinism & invariant rules L1–L4
+#          over src/ bench/ tests/ examples/ tools/. Any finding fails.
+#   leg 2  clang-tidy — the curated .clang-tidy profile over src/, driven by
+#          the compile commands CMake exports. WarningsAsErrors: '*' in the
+#          config gives every diagnostic -Werror semantics. Skipped with a
+#          notice when no clang-tidy binary is installed (the container
+#          bakes in gcc only); leg 1 always runs.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" --target scale_lint -j"${JOBS}"
+
+echo "== lint leg 1: scale_lint (rules L1-L4) =="
+"${BUILD_DIR}/tools/lint/scale_lint" --root . src bench tests examples tools
+
+echo "== lint leg 2: clang-tidy (curated .clang-tidy profile) =="
+CLANG_TIDY="$(command -v clang-tidy || true)"
+if [[ -z "${CLANG_TIDY}" ]]; then
+  echo "clang-tidy not installed; skipping leg 2 (install clang-tidy to enable)"
+else
+  if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+    echo "error: ${BUILD_DIR}/compile_commands.json missing" >&2
+    exit 2
+  fi
+  # All first-party translation units; headers ride along via
+  # HeaderFilterRegex. xargs -P parallelizes across cores.
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -n 1 -P "${JOBS}" "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet
+fi
+
+echo "lint: OK"

@@ -12,6 +12,10 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+# Lint leg (DESIGN.md §6): ScaleLint rules L1-L4 over the tree, then
+# clang-tidy via the exported compile commands. Any finding fails tier-1.
+scripts/lint.sh build
+
 cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"${JOBS}" --target scale_tests
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \

@@ -24,8 +24,8 @@ class OnlineStats {
 
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
-  double variance() const;  ///< population variance
-  double stddev() const;
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return sum_; }
@@ -51,13 +51,13 @@ class PercentileSampler {
   bool empty() const { return samples_.empty(); }
 
   /// q in [0,1]; q=0.99 is the paper's "99th %tile". Nearest-rank method.
-  double percentile(double q) const;
+  [[nodiscard]] double percentile(double q) const;
   double median() const { return percentile(0.5); }
-  double mean() const;
-  double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double max() const;
 
   /// Evenly spaced CDF points (x, F(x)) suitable for plotting; n >= 2.
-  std::vector<std::pair<double, double>> cdf(std::size_t n = 50) const;
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(std::size_t n = 50) const;
 
   const std::vector<double>& samples() const { return samples_; }
   void clear();
@@ -84,11 +84,11 @@ class Histogram {
   std::uint64_t total() const { return total_; }
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
-  double bin_lo(std::size_t i) const;
-  double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
 
   /// Approximate quantile by linear interpolation within the bin.
-  double quantile(double q) const;
+  [[nodiscard]] double quantile(double q) const;
 
  private:
   double lo_, hi_, width_;
@@ -122,19 +122,19 @@ class TimeSeries {
   const std::vector<std::pair<Time, double>>& points() const {
     return points_;
   }
-  double max_value() const;
-  double mean_value() const;
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double mean_value() const;
   /// Mean of values with t in [from, to).
-  double mean_in(Time from, Time to) const;
+  [[nodiscard]] double mean_in(Time from, Time to) const;
   /// Last value at or before t (0 if none).
-  double value_at(Time t) const;
+  [[nodiscard]] double value_at(Time t) const;
 
  private:
   std::vector<std::pair<Time, double>> points_;
 };
 
 /// Render a CDF as aligned text rows ("x  F" per line) for bench output.
-std::string format_cdf(const std::vector<std::pair<double, double>>& cdf,
+[[nodiscard]] std::string format_cdf(const std::vector<std::pair<double, double>>& cdf,
                        const std::string& x_label,
                        const std::string& f_label);
 

@@ -168,8 +168,12 @@ void EnodeB::rrc_sweep() {
   rrc_sweep_running_ = false;
   const Time now = fabric_.engine().now();
   std::vector<proto::EnbUeId> stale;
+  // lint: order-independent — stale ids are sorted before any release fires.
   for (const auto& [id, conn] : conns_)
     if (now - conn.last_activity >= cfg_.rrc_inactivity) stale.push_back(id);
+  // Release in ascending connection-id order: each release schedules an
+  // event, so hash order here would reshuffle event ids across runs.
+  std::sort(stale.begin(), stale.end());
   for (proto::EnbUeId id : stale) {
     Ue& ue = *conns_.at(id).ue;
     conns_.erase(id);

@@ -47,7 +47,7 @@ class ReliableChannel {
   /// stop processing. Otherwise returns the application PDU: either `pdu`
   /// itself (unwrapped traffic) or the segment's inner PDU, which aliases
   /// storage inside `pdu` and stays valid for the caller's receive() scope.
-  const proto::Pdu* unwrap(NodeId from, const proto::Pdu& pdu);
+  [[nodiscard]] const proto::Pdu* unwrap(NodeId from, const proto::Pdu& pdu);
 
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t abandoned() const { return abandoned_; }
@@ -70,7 +70,7 @@ class ReliableChannel {
   void arm_timer(NodeId to, std::uint64_t seq, Duration rto);
   void on_timeout(NodeId to, std::uint64_t seq);
   /// Returns false if `seq` was already delivered from this peer.
-  static bool register_seq(PeerRx& rx, std::uint64_t seq);
+  [[nodiscard]] static bool register_seq(PeerRx& rx, std::uint64_t seq);
 
   Fabric& fabric_;
   NodeId self_;

@@ -1,5 +1,8 @@
 #include "epc/ue_context.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 
 namespace scale::epc {
@@ -126,14 +129,28 @@ std::uint64_t UeContextStore::bytes(ContextRole role) const {
 }
 
 void UeContextStore::for_each(const std::function<void(UeContext&)>& fn) {
-  for (auto& [key, ctx] : by_key_) fn(*ctx);
+  // Visit in ascending GUTI-key order, not hash order: epoch sweeps draw RNG
+  // per visited context (geo candidate selection, eviction marking), so the
+  // raw unordered_map order would leak the hash layout into the trajectory
+  // and break same-seed replay across standard libraries (DESIGN.md §6, L2).
+  std::vector<std::pair<std::uint64_t, UeContext*>> snapshot;
+  snapshot.reserve(by_key_.size());
+  // lint: order-independent — snapshot is sorted before any visit happens.
+  for (auto& [key, ctx] : by_key_) snapshot.emplace_back(key, ctx.get());
+  std::sort(snapshot.begin(), snapshot.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [key, ctx] : snapshot) fn(*ctx);
 }
 
 std::vector<std::uint64_t> UeContextStore::keys_if(
     const std::function<bool(const UeContext&)>& pred) const {
   std::vector<std::uint64_t> keys;
+  // lint: order-independent — the key list is sorted before it is returned.
   for (const auto& [key, ctx] : by_key_)
     if (pred(*ctx)) keys.push_back(key);
+  // Migration and eviction iterate this list and emit messages per key, so
+  // its order is trajectory-visible; sort to make it hash-layout-free.
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 

@@ -51,14 +51,14 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
 
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
-  std::uint64_t u64();
-  double f64();
-  bool boolean();
-  std::vector<std::uint8_t> bytes(std::size_t n);
-  std::string str();
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] bool boolean();
+  [[nodiscard]] std::vector<std::uint8_t> bytes(std::size_t n);
+  [[nodiscard]] std::string str();
 
   template <typename T>
   std::optional<T> optional(T (ByteReader::*get)()) {
@@ -66,8 +66,8 @@ class ByteReader {
     return (this->*get)();
   }
 
-  std::size_t remaining() const { return data_.size() - pos_; }
-  bool at_end() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
   /// Throws CodecError unless the whole buffer was consumed.
   void expect_end() const;
 

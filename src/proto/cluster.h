@@ -45,7 +45,7 @@ struct UeContextRecord {
   std::uint32_t state_bytes = 2048;  ///< nominal footprint for memory budget
 
   void encode(ByteWriter& w) const;
-  static UeContextRecord decode(ByteReader& r);
+  [[nodiscard]] static UeContextRecord decode(ByteReader& r);
   bool operator==(const UeContextRecord&) const = default;
 };
 
@@ -85,7 +85,7 @@ struct ClusterForward {
   PduRef inner;
 
   void encode(ByteWriter& w) const;
-  static ClusterForward decode(ByteReader& r);
+  [[nodiscard]] static ClusterForward decode(ByteReader& r);
 };
 
 /// MMP → MLB: a PDU to relay out of a standard interface to `target`.
@@ -95,7 +95,7 @@ struct ClusterReply {
   PduRef inner;
 
   void encode(ByteWriter& w) const;
-  static ClusterReply decode(ByteReader& r);
+  [[nodiscard]] static ClusterReply decode(ByteReader& r);
 };
 
 /// Master MMP → replica MMP (or → remote MLB when geo=true): asynchronous
@@ -107,7 +107,7 @@ struct ReplicaPush {
   bool geo = false;
 
   void encode(ByteWriter& w) const;
-  static ReplicaPush decode(ByteReader& r);
+  [[nodiscard]] static ReplicaPush decode(ByteReader& r);
 };
 
 /// Replica → master: synchronization acknowledgement.
@@ -118,7 +118,7 @@ struct ReplicaAck {
   std::uint32_t holder_dc = 0;
 
   void encode(ByteWriter& w) const;
-  static ReplicaAck decode(ByteReader& r);
+  [[nodiscard]] static ReplicaAck decode(ByteReader& r);
 };
 
 /// Remove a replica (access-aware down-replication or geo eviction).
@@ -127,7 +127,7 @@ struct ReplicaDelete {
   Guti guti;
 
   void encode(ByteWriter& w) const;
-  static ReplicaDelete decode(ByteReader& r);
+  [[nodiscard]] static ReplicaDelete decode(ByteReader& r);
 };
 
 /// Full ownership hand-off of a device's state: ring-membership migration in
@@ -138,7 +138,7 @@ struct StateTransfer {
   UeContextRecord rec;
 
   void encode(ByteWriter& w) const;
-  static StateTransfer decode(ByteReader& r);
+  [[nodiscard]] static StateTransfer decode(ByteReader& r);
 };
 
 struct StateTransferAck {
@@ -146,7 +146,7 @@ struct StateTransferAck {
   Guti guti;
 
   void encode(ByteWriter& w) const;
-  static StateTransferAck decode(ByteReader& r);
+  [[nodiscard]] static StateTransferAck decode(ByteReader& r);
 };
 
 /// MMP → MLB on the management channel: "current load (moving average of
@@ -159,7 +159,7 @@ struct LoadReport {
   std::uint32_t active_devices = 0;
 
   void encode(ByteWriter& w) const;
-  static LoadReport decode(ByteReader& r);
+  [[nodiscard]] static LoadReport decode(ByteReader& r);
 };
 
 /// Provisioner → MLB: the updated consistent-hash membership. The MLB
@@ -175,7 +175,7 @@ struct RingUpdate {
   std::vector<Member> members;
 
   void encode(ByteWriter& w) const;
-  static RingUpdate decode(ByteReader& r);
+  [[nodiscard]] static RingUpdate decode(ByteReader& r);
 };
 
 /// DC ↔ DC: periodic broadcast of the unused external-state budget Ŝm
@@ -188,7 +188,7 @@ struct GeoBudgetGossip {
   double backlog_sec = 0.0;       ///< mean MMP queued work, seconds
 
   void encode(ByteWriter& w) const;
-  static GeoBudgetGossip decode(ByteReader& r);
+  [[nodiscard]] static GeoBudgetGossip decode(ByteReader& r);
 };
 
 /// Overloaded local MMP → remote DC's MLB: process this device request
@@ -202,7 +202,7 @@ struct GeoForward {
   PduRef inner;
 
   void encode(ByteWriter& w) const;
-  static GeoForward decode(ByteReader& r);
+  [[nodiscard]] static GeoForward decode(ByteReader& r);
 };
 
 /// Remote MMP → home MMP: no external replica here (stale ring / evicted);
@@ -214,7 +214,7 @@ struct GeoReject {
   std::uint32_t origin = 0;
 
   void encode(ByteWriter& w) const;
-  static GeoReject decode(ByteReader& r);
+  [[nodiscard]] static GeoReject decode(ByteReader& r);
 };
 
 /// DC j → others: shrink your external share by `fraction` (§4.5.2 (v));
@@ -225,7 +225,7 @@ struct GeoEvictRequest {
   double fraction = 0.0;
 
   void encode(ByteWriter& w) const;
-  static GeoEvictRequest decode(ByteReader& r);
+  [[nodiscard]] static GeoEvictRequest decode(ByteReader& r);
 };
 
 /// dMME processing node → centralized state store: fetch a device's
@@ -236,7 +236,7 @@ struct StateFetch {
   Guti guti;
 
   void encode(ByteWriter& w) const;
-  static StateFetch decode(ByteReader& r);
+  [[nodiscard]] static StateFetch decode(ByteReader& r);
 };
 
 /// State store → dMME node.
@@ -247,7 +247,7 @@ struct StateFetchResp {
   UeContextRecord rec;
 
   void encode(ByteWriter& w) const;
-  static StateFetchResp decode(ByteReader& r);
+  [[nodiscard]] static StateFetchResp decode(ByteReader& r);
 };
 
 /// Reliability-shim segment (epc/reliable.h): the inner PDU plus a per-
@@ -262,7 +262,7 @@ struct TransportData {
   PduRef inner;
 
   void encode(ByteWriter& w) const;
-  static TransportData decode(ByteReader& r);
+  [[nodiscard]] static TransportData decode(ByteReader& r);
 };
 
 /// Reliability-shim SACK: acknowledges exactly one TransportData segment.
@@ -273,7 +273,7 @@ struct TransportAck {
   std::uint64_t seq = 0;
 
   void encode(ByteWriter& w) const;
-  static TransportAck decode(ByteReader& r);
+  [[nodiscard]] static TransportAck decode(ByteReader& r);
 };
 
 /// Overloaded MMP → MLB: the ingress queue is saturated and this request
@@ -289,7 +289,7 @@ struct OverloadReject {
   PduRef inner;                    ///< the shed request, for re-steering
 
   void encode(ByteWriter& w) const;
-  static OverloadReject decode(ByteReader& r);
+  [[nodiscard]] static OverloadReject decode(ByteReader& r);
 };
 
 using ClusterMessage =
@@ -300,7 +300,7 @@ using ClusterMessage =
                  TransportAck, OverloadReject>;
 
 void encode_cluster(const ClusterMessage& msg, ByteWriter& w);
-ClusterMessage decode_cluster(ByteReader& r);
+[[nodiscard]] ClusterMessage decode_cluster(ByteReader& r);
 const char* cluster_name(const ClusterMessage& msg);
 
 }  // namespace scale::proto

@@ -15,7 +15,7 @@
 namespace scale::proto {
 
 std::vector<std::uint8_t> encode_pdu(const Pdu& pdu);
-Pdu decode_pdu(std::span<const std::uint8_t> bytes);
+[[nodiscard]] Pdu decode_pdu(std::span<const std::uint8_t> bytes);
 
 /// Encoded size in bytes (computed by encoding; cached nowhere — callers on
 /// hot paths should reuse one encode).

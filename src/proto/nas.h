@@ -42,7 +42,7 @@ struct NasAttachRequest {
   Tac tac = 0;
 
   void encode(ByteWriter& w) const;
-  static NasAttachRequest decode(ByteReader& r);
+  [[nodiscard]] static NasAttachRequest decode(ByteReader& r);
   bool operator==(const NasAttachRequest&) const = default;
 };
 
@@ -53,7 +53,7 @@ struct NasAuthenticationRequest {
   std::uint64_t autn = 0;
 
   void encode(ByteWriter& w) const;
-  static NasAuthenticationRequest decode(ByteReader& r);
+  [[nodiscard]] static NasAuthenticationRequest decode(ByteReader& r);
   bool operator==(const NasAuthenticationRequest&) const = default;
 };
 
@@ -63,7 +63,7 @@ struct NasAuthenticationResponse {
   std::uint64_t res = 0;
 
   void encode(ByteWriter& w) const;
-  static NasAuthenticationResponse decode(ByteReader& r);
+  [[nodiscard]] static NasAuthenticationResponse decode(ByteReader& r);
   bool operator==(const NasAuthenticationResponse&) const = default;
 };
 
@@ -74,7 +74,7 @@ struct NasSecurityModeCommand {
   std::uint8_t ciphering_algo = 1;
 
   void encode(ByteWriter& w) const;
-  static NasSecurityModeCommand decode(ByteReader& r);
+  [[nodiscard]] static NasSecurityModeCommand decode(ByteReader& r);
   bool operator==(const NasSecurityModeCommand&) const = default;
 };
 
@@ -83,7 +83,7 @@ struct NasSecurityModeComplete {
   static constexpr NasType kType = NasType::kSecurityModeComplete;
 
   void encode(ByteWriter&) const {}
-  static NasSecurityModeComplete decode(ByteReader&) { return {}; }
+  [[nodiscard]] static NasSecurityModeComplete decode(ByteReader&) { return {}; }
   bool operator==(const NasSecurityModeComplete&) const = default;
 };
 
@@ -94,7 +94,7 @@ struct NasAttachAccept {
   std::uint32_t tau_timer_s = 3600;
 
   void encode(ByteWriter& w) const;
-  static NasAttachAccept decode(ByteReader& r);
+  [[nodiscard]] static NasAttachAccept decode(ByteReader& r);
   bool operator==(const NasAttachAccept&) const = default;
 };
 
@@ -103,7 +103,7 @@ struct NasAttachComplete {
   static constexpr NasType kType = NasType::kAttachComplete;
 
   void encode(ByteWriter&) const {}
-  static NasAttachComplete decode(ByteReader&) { return {}; }
+  [[nodiscard]] static NasAttachComplete decode(ByteReader&) { return {}; }
   bool operator==(const NasAttachComplete&) const = default;
 };
 
@@ -118,7 +118,7 @@ struct NasServiceRequest {
   std::uint16_t short_mac = 0;
 
   void encode(ByteWriter& w) const;
-  static NasServiceRequest decode(ByteReader& r);
+  [[nodiscard]] static NasServiceRequest decode(ByteReader& r);
   bool operator==(const NasServiceRequest&) const = default;
 };
 
@@ -127,7 +127,7 @@ struct NasServiceAccept {
   static constexpr NasType kType = NasType::kServiceAccept;
 
   void encode(ByteWriter&) const {}
-  static NasServiceAccept decode(ByteReader&) { return {}; }
+  [[nodiscard]] static NasServiceAccept decode(ByteReader&) { return {}; }
   bool operator==(const NasServiceAccept&) const = default;
 };
 
@@ -137,7 +137,7 @@ struct NasServiceReject {
   std::uint8_t cause = 0;
 
   void encode(ByteWriter& w) const;
-  static NasServiceReject decode(ByteReader& r);
+  [[nodiscard]] static NasServiceReject decode(ByteReader& r);
   bool operator==(const NasServiceReject&) const = default;
 };
 
@@ -151,7 +151,7 @@ struct NasTauRequest {
   bool rebalance = false;
 
   void encode(ByteWriter& w) const;
-  static NasTauRequest decode(ByteReader& r);
+  [[nodiscard]] static NasTauRequest decode(ByteReader& r);
   bool operator==(const NasTauRequest&) const = default;
 };
 
@@ -162,7 +162,7 @@ struct NasTauAccept {
   std::uint32_t tau_timer_s = 3600;
 
   void encode(ByteWriter& w) const;
-  static NasTauAccept decode(ByteReader& r);
+  [[nodiscard]] static NasTauAccept decode(ByteReader& r);
   bool operator==(const NasTauAccept&) const = default;
 };
 
@@ -172,7 +172,7 @@ struct NasDetachRequest {
   Guti guti;
 
   void encode(ByteWriter& w) const;
-  static NasDetachRequest decode(ByteReader& r);
+  [[nodiscard]] static NasDetachRequest decode(ByteReader& r);
   bool operator==(const NasDetachRequest&) const = default;
 };
 
@@ -181,7 +181,7 @@ struct NasDetachAccept {
   static constexpr NasType kType = NasType::kDetachAccept;
 
   void encode(ByteWriter&) const {}
-  static NasDetachAccept decode(ByteReader&) { return {}; }
+  [[nodiscard]] static NasDetachAccept decode(ByteReader&) { return {}; }
   bool operator==(const NasDetachAccept&) const = default;
 };
 
@@ -195,7 +195,7 @@ using NasMessage =
 
 /// Tagged encode / decode of any NAS message.
 void encode_nas(const NasMessage& msg, ByteWriter& w);
-NasMessage decode_nas(ByteReader& r);
+[[nodiscard]] NasMessage decode_nas(ByteReader& r);
 const char* nas_name(const NasMessage& msg);
 
 }  // namespace scale::proto

@@ -31,7 +31,7 @@ struct CreateSessionRequest {
   Teid mme_teid;  ///< sender TEID; top byte identifies the MMP (§5)
 
   void encode(ByteWriter& w) const;
-  static CreateSessionRequest decode(ByteReader& r);
+  [[nodiscard]] static CreateSessionRequest decode(ByteReader& r);
 };
 
 /// S-GW → MME.
@@ -41,7 +41,7 @@ struct CreateSessionResponse {
   Teid sgw_teid;
 
   void encode(ByteWriter& w) const;
-  static CreateSessionResponse decode(ByteReader& r);
+  [[nodiscard]] static CreateSessionResponse decode(ByteReader& r);
 };
 
 /// MME → S-GW: re-point the downlink at a (new) eNodeB (Service Request
@@ -53,7 +53,7 @@ struct ModifyBearerRequest {
   std::uint32_t enb_id = 0;
 
   void encode(ByteWriter& w) const;
-  static ModifyBearerRequest decode(ByteReader& r);
+  [[nodiscard]] static ModifyBearerRequest decode(ByteReader& r);
 };
 
 /// S-GW → MME.
@@ -62,7 +62,7 @@ struct ModifyBearerResponse {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static ModifyBearerResponse decode(ByteReader& r);
+  [[nodiscard]] static ModifyBearerResponse decode(ByteReader& r);
 };
 
 /// MME → S-GW on Active → Idle: release the radio-side bearer but keep the
@@ -73,7 +73,7 @@ struct ReleaseAccessBearersRequest {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static ReleaseAccessBearersRequest decode(ByteReader& r);
+  [[nodiscard]] static ReleaseAccessBearersRequest decode(ByteReader& r);
 };
 
 /// S-GW → MME.
@@ -82,7 +82,7 @@ struct ReleaseAccessBearersResponse {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static ReleaseAccessBearersResponse decode(ByteReader& r);
+  [[nodiscard]] static ReleaseAccessBearersResponse decode(ByteReader& r);
 };
 
 /// MME → S-GW on Detach.
@@ -92,7 +92,7 @@ struct DeleteSessionRequest {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static DeleteSessionRequest decode(ByteReader& r);
+  [[nodiscard]] static DeleteSessionRequest decode(ByteReader& r);
 };
 
 /// S-GW → MME.
@@ -101,7 +101,7 @@ struct DeleteSessionResponse {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static DeleteSessionResponse decode(ByteReader& r);
+  [[nodiscard]] static DeleteSessionResponse decode(ByteReader& r);
 };
 
 /// S-GW → MME: downlink packet arrived for an Idle device → MME pages
@@ -111,7 +111,7 @@ struct DownlinkDataNotification {
   Teid mme_teid;
 
   void encode(ByteWriter& w) const;
-  static DownlinkDataNotification decode(ByteReader& r);
+  [[nodiscard]] static DownlinkDataNotification decode(ByteReader& r);
 };
 
 /// MME → S-GW.
@@ -120,7 +120,7 @@ struct DownlinkDataNotificationAck {
   Teid sgw_teid;
 
   void encode(ByteWriter& w) const;
-  static DownlinkDataNotificationAck decode(ByteReader& r);
+  [[nodiscard]] static DownlinkDataNotificationAck decode(ByteReader& r);
 };
 
 using S11Message =
@@ -131,7 +131,7 @@ using S11Message =
                  DownlinkDataNotification, DownlinkDataNotificationAck>;
 
 void encode_s11(const S11Message& msg, ByteWriter& w);
-S11Message decode_s11(ByteReader& r);
+[[nodiscard]] S11Message decode_s11(ByteReader& r);
 const char* s11_name(const S11Message& msg);
 
 }  // namespace scale::proto

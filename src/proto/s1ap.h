@@ -40,7 +40,7 @@ struct InitialUeMessage {
   NasMessage nas;
 
   void encode(ByteWriter& w) const;
-  static InitialUeMessage decode(ByteReader& r);
+  [[nodiscard]] static InitialUeMessage decode(ByteReader& r);
 };
 
 /// eNB → MME, for NAS messages on an established UE-associated connection.
@@ -54,7 +54,7 @@ struct UplinkNasTransport {
   NasMessage nas;
 
   void encode(ByteWriter& w) const;
-  static UplinkNasTransport decode(ByteReader& r);
+  [[nodiscard]] static UplinkNasTransport decode(ByteReader& r);
 };
 
 /// MME → eNB (→ UE).
@@ -66,7 +66,7 @@ struct DownlinkNasTransport {
   NasMessage nas;
 
   void encode(ByteWriter& w) const;
-  static DownlinkNasTransport decode(ByteReader& r);
+  [[nodiscard]] static DownlinkNasTransport decode(ByteReader& r);
 };
 
 /// MME → eNB: establish the radio-side data bearer (carries S-GW TEID).
@@ -78,7 +78,7 @@ struct InitialContextSetupRequest {
   Teid sgw_teid;
 
   void encode(ByteWriter& w) const;
-  static InitialContextSetupRequest decode(ByteReader& r);
+  [[nodiscard]] static InitialContextSetupRequest decode(ByteReader& r);
 };
 
 /// eNB → MME.
@@ -90,7 +90,7 @@ struct InitialContextSetupResponse {
   Teid enb_teid;
 
   void encode(ByteWriter& w) const;
-  static InitialContextSetupResponse decode(ByteReader& r);
+  [[nodiscard]] static InitialContextSetupResponse decode(ByteReader& r);
 };
 
 enum class ReleaseCause : std::uint8_t {
@@ -110,7 +110,7 @@ struct UeContextReleaseCommand {
   ReleaseCause cause = ReleaseCause::kUserInactivity;
 
   void encode(ByteWriter& w) const;
-  static UeContextReleaseCommand decode(ByteReader& r);
+  [[nodiscard]] static UeContextReleaseCommand decode(ByteReader& r);
 };
 
 /// eNB → MME.
@@ -121,7 +121,7 @@ struct UeContextReleaseComplete {
   MmeUeId mme_ue_id;
 
   void encode(ByteWriter& w) const;
-  static UeContextReleaseComplete decode(ByteReader& r);
+  [[nodiscard]] static UeContextReleaseComplete decode(ByteReader& r);
 };
 
 /// MME → every eNB in the UE's tracking area (§2(c)).
@@ -131,7 +131,7 @@ struct Paging {
   Tac tac = 0;
 
   void encode(ByteWriter& w) const;
-  static Paging decode(ByteReader& r);
+  [[nodiscard]] static Paging decode(ByteReader& r);
 };
 
 /// (target) eNB → MME after X2 handover: request downlink path switch
@@ -144,7 +144,7 @@ struct PathSwitchRequest {
   Tac tac = 0;
 
   void encode(ByteWriter& w) const;
-  static PathSwitchRequest decode(ByteReader& r);
+  [[nodiscard]] static PathSwitchRequest decode(ByteReader& r);
 };
 
 /// MME → eNB.
@@ -155,7 +155,7 @@ struct PathSwitchAck {
   MmeUeId mme_ue_id;
 
   void encode(ByteWriter& w) const;
-  static PathSwitchAck decode(ByteReader& r);
+  [[nodiscard]] static PathSwitchAck decode(ByteReader& r);
 };
 
 using S1apMessage =
@@ -165,7 +165,7 @@ using S1apMessage =
                  PathSwitchRequest, PathSwitchAck>;
 
 void encode_s1ap(const S1apMessage& msg, ByteWriter& w);
-S1apMessage decode_s1ap(ByteReader& r);
+[[nodiscard]] S1apMessage decode_s1ap(ByteReader& r);
 const char* s1ap_name(const S1apMessage& msg);
 
 }  // namespace scale::proto

@@ -27,7 +27,7 @@ struct AuthInfoRequest {
   std::uint32_t hop_ref = 0;
 
   void encode(ByteWriter& w) const;
-  static AuthInfoRequest decode(ByteReader& r);
+  [[nodiscard]] static AuthInfoRequest decode(ByteReader& r);
 };
 
 /// HSS → MME: the vector (RAND, AUTN, XRES; K_ASME folded into xres here).
@@ -41,7 +41,7 @@ struct AuthInfoAnswer {
   std::uint64_t xres = 0;
 
   void encode(ByteWriter& w) const;
-  static AuthInfoAnswer decode(ByteReader& r);
+  [[nodiscard]] static AuthInfoAnswer decode(ByteReader& r);
 };
 
 /// MME → HSS: register which MME now serves the subscriber.
@@ -52,7 +52,7 @@ struct UpdateLocationRequest {
   std::uint32_t hop_ref = 0;
 
   void encode(ByteWriter& w) const;
-  static UpdateLocationRequest decode(ByteReader& r);
+  [[nodiscard]] static UpdateLocationRequest decode(ByteReader& r);
 };
 
 /// HSS → MME: subscription profile.
@@ -64,14 +64,14 @@ struct UpdateLocationAnswer {
   std::uint32_t hop_ref = 0;
 
   void encode(ByteWriter& w) const;
-  static UpdateLocationAnswer decode(ByteReader& r);
+  [[nodiscard]] static UpdateLocationAnswer decode(ByteReader& r);
 };
 
 using S6Message = std::variant<AuthInfoRequest, AuthInfoAnswer,
                                UpdateLocationRequest, UpdateLocationAnswer>;
 
 void encode_s6(const S6Message& msg, ByteWriter& w);
-S6Message decode_s6(ByteReader& r);
+[[nodiscard]] S6Message decode_s6(ByteReader& r);
 const char* s6_name(const S6Message& msg);
 
 }  // namespace scale::proto

@@ -45,7 +45,7 @@ struct Guti {
   std::string str() const;
 
   void encode(ByteWriter& w) const;
-  static Guti decode(ByteReader& r);
+  [[nodiscard]] static Guti decode(ByteReader& r);
 };
 
 /// S1AP UE id assigned by the eNodeB.

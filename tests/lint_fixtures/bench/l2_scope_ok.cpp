@@ -1,0 +1,14 @@
+// L2 scope fixture: the same unordered iteration as l2_bad.cpp, but under
+// bench/ — outside the determinism-critical directories, so zero findings
+// (benchmarks may aggregate in hash order; they report, they don't replay).
+#include <unordered_map>
+
+struct BenchAgg {
+  std::unordered_map<int, double> samples_;
+
+  double sum() const {
+    double s = 0.0;
+    for (const auto& [k, v] : samples_) s += v;
+    return s;
+  }
+};

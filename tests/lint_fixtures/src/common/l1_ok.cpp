@@ -1,0 +1,19 @@
+// L1 negative fixture: deterministic idioms that must NOT be flagged —
+// explicit-seed PRNGs, identifiers that merely contain "time"/"rand", and
+// mentions of the banned names inside comments and string literals.
+#include <cstdint>
+#include <string>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : s_(seed) {}
+  std::uint64_t next() { return s_ += 0x9E3779B97F4A7C15ull; }
+  std::uint64_t s_;
+};
+
+std::uint64_t draw(std::uint64_t seed) { return Rng(seed).next(); }
+
+std::uint64_t run_time(std::uint64_t t) { return t; }  // name contains "time"
+std::uint64_t uptime() { return run_time(7); }
+
+// A comment naming std::rand or system_clock is documentation, not use.
+std::string docs() { return "never call std::rand or time() in sim code"; }

@@ -1,0 +1,15 @@
+// L4 positive fixture: ownership and hygiene violations. Exactly 3 [L4]
+// findings.
+struct Widget {
+  int x = 0;
+};
+
+// TODO: tighten this up — finding 1 (no owner tag)
+
+Widget* make_widget() {
+  return new Widget();  // finding 2: naked new
+}
+
+void destroy_widget(Widget* w) {
+  delete w;  // finding 3: naked delete
+}

@@ -1,0 +1,13 @@
+// L4 negative fixture: the allowed spellings. Zero findings.
+#include <memory>
+
+// TODO(alex): profile this path once the worker pool lands.
+struct Gadget {
+  Gadget() = default;
+  Gadget(const Gadget&) = delete;  // deleted function, not a deallocation
+  Gadget& operator=(const Gadget&) = delete;
+};
+
+std::unique_ptr<Gadget> make_gadget() { return std::make_unique<Gadget>(); }
+
+const char* slogan() { return "brand new delete-free code"; }  // string only

@@ -1,0 +1,18 @@
+// L3 positive fixture: decode/parse/try_ declarations missing [[nodiscard]]
+// in proto scope. Exactly 3 [L3] findings — the call site at the bottom must
+// NOT be flagged (it is a use, not a declaration).
+#pragma once
+
+struct ByteReader;
+
+struct FrameA {
+  static FrameA decode(ByteReader& r);  // finding 1
+};
+
+int parse_header(ByteReader& r);  // finding 2
+
+bool try_take(ByteReader& r);  // finding 3
+
+inline int consume(ByteReader& r) {
+  return parse_header(r);  // call, not a declaration: no finding
+}

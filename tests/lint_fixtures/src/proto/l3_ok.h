@@ -1,0 +1,17 @@
+// L3 negative fixture: properly attributed decoders, plus names the rule
+// must leave alone. Zero findings.
+#pragma once
+
+struct ByteReader;
+
+struct FrameB {
+  [[nodiscard]] static FrameB decode(ByteReader& r);
+};
+
+[[nodiscard]] int parse_header2(ByteReader& r);
+
+[[nodiscard]] bool try_take2(ByteReader& r);
+
+void encode_frame(ByteReader& r);  // encoder: not a decode/parse/try_ name
+
+int retry_count();  // "try" inside a word is not try_*

@@ -1,0 +1,27 @@
+// L1 positive fixture: every classic nondeterminism source, one per site.
+// test_lint.cpp asserts exactly 6 [L1] findings in this file.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long wall_clock() { return time(nullptr); }  // finding 1: wall-clock read
+
+int libc_rand() { return std::rand(); }  // finding 2: unseedable libc PRNG
+
+void libc_seed() { srand(42); }  // finding 3: process-global seeding
+
+unsigned entropy() {
+  std::random_device rd;  // finding 4: entropy can never replay
+  return rd();
+}
+
+void default_seeded() {
+  std::mt19937 gen;  // finding 5: seed differs across stdlib versions
+  (void)gen;
+}
+
+double chrono_clock() {
+  const auto now = std::chrono::steady_clock::now();  // finding 6
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

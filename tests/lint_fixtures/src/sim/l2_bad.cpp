@@ -1,0 +1,17 @@
+// L2 positive fixture: unannotated iteration over unordered containers in a
+// determinism-critical directory. Exactly 2 [L2] findings.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Telemetry {
+  std::unordered_map<int, double> samples_;
+  std::unordered_set<int> ids_;
+
+  double sum() const {
+    double s = 0.0;
+    for (const auto& [k, v] : samples_) s += v;  // finding 1: range-for
+    return s;
+  }
+
+  int first() const { return *ids_.begin(); }  // finding 2: iterator walk
+};

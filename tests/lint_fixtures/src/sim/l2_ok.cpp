@@ -1,0 +1,18 @@
+// L2 negative fixture: the sanctioned ways to touch unordered containers in
+// a determinism-critical directory. Zero findings.
+#include <map>
+#include <unordered_map>
+
+struct Counters {
+  std::unordered_map<int, long> counts_;
+  std::map<int, long> ordered_;
+
+  long total() const {
+    long t = 0;
+    // lint: order-independent — commutative sum, no events emitted per visit.
+    for (const auto& [k, v] : counts_) t += v;
+    for (const auto& [k, v] : ordered_) t += v;  // ordered map: always fine
+    const auto it = counts_.find(3);             // point lookup: always fine
+    return t + (it == counts_.end() ? 0 : it->second);
+  }
+};

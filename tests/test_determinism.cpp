@@ -3,6 +3,7 @@
 // different ones for different seeds. Every benchmark number rests on this.
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 
 #include "core/cluster.h"
@@ -73,6 +74,23 @@ TEST(Determinism, IdenticalSeedsIdenticalTrajectories) {
 
 TEST(Determinism, DifferentSeedsDiverge) {
   EXPECT_NE(run_fingerprint(1), run_fingerprint(2));
+}
+
+TEST(Determinism, FingerprintGoldenDigest) {
+  // Pins the complete same-seed trajectory, not just within-process
+  // equality: any change to event ordering, routing, RNG draw order, or
+  // container iteration moves this digest. Baseline set when
+  // UeContextStore::for_each/keys_if switched from hash order to sorted
+  // GUTI-key order (ScaleLint rule L2) — the trajectory is hash-layout-free
+  // from then on, so the digest is stable by construction. If a PR changes
+  // behavior *intentionally*, re-baseline this constant and say so in
+  // CHANGES.md; if it moved and you didn't expect it, you broke replay.
+  const hash::Md5Digest d = hash::Md5::digest(run_fingerprint(12345));
+  std::ostringstream hex;
+  for (const auto byte : d)
+    hex << std::hex << std::setw(2) << std::setfill('0')
+        << static_cast<unsigned>(byte);
+  EXPECT_EQ(hex.str(), "192a5ab5df0e500cc793e8d5684cd1b6");
 }
 
 TEST(Determinism, RngSequenceStable) {

@@ -4,6 +4,8 @@
 // measurement window).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <vector>
 
 #include "epc/fabric.h"
@@ -123,10 +125,10 @@ TEST_F(FabricTest, PartitionWindowSeversThenHeals) {
 TEST_F(FabricTest, ResetCountersZeroesEverythingTogether) {
   Probe a(fabric), b(fabric);
   // One dead-endpoint drop...
-  Probe* dead = new Probe(fabric);
+  auto dead = std::make_unique<Probe>(fabric);
   const sim::NodeId dead_node = dead->node;
   fabric.send(a.node, dead_node, ping(1));
-  delete dead;
+  dead.reset();
   // ...one wire drop + one duplicate...
   sim::LinkFaults f;
   f.drop_prob = 1.0;

@@ -1,0 +1,94 @@
+// ScaleLint self-test: runs the scale_lint binary over the fixture tree in
+// tests/lint_fixtures/ and asserts exact finding counts and exit codes per
+// rule (DESIGN.md §6). The fixtures mirror real-tree paths (src/sim, src/
+// proto, bench, ...) so the path-scoping logic is exercised, not bypassed.
+//
+// The binary path and fixture root are injected by CMake as compile
+// definitions; the fixtures are scanned, never compiled.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+
+  std::size_t count(const std::string& needle) const {
+    std::size_t n = 0;
+    for (std::size_t at = output.find(needle); at != std::string::npos;
+         at = output.find(needle, at + needle.size()))
+      ++n;
+    return n;
+  }
+};
+
+/// Run scale_lint with the given arguments, capturing stdout + exit code.
+LintRun run_lint(const std::string& args) {
+  const std::string cmd =
+      std::string(SCALE_LINT_BIN) + " " + args + " 2>/dev/null";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot spawn: " << cmd;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+const std::string kFixtures = std::string("--root ") + SCALE_LINT_FIXTURES;
+
+TEST(ScaleLint, FixtureTreeYieldsExactPerRuleCounts) {
+  const LintRun r = run_lint(kFixtures + " src bench");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(r.count("[L1]"), 6u) << r.output;
+  EXPECT_EQ(r.count("[L2]"), 2u) << r.output;
+  EXPECT_EQ(r.count("[L3]"), 3u) << r.output;
+  EXPECT_EQ(r.count("[L4]"), 3u) << r.output;
+}
+
+TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
+  const LintRun r = run_lint(kFixtures + " src bench");
+  EXPECT_EQ(r.count("src/sim/l1_bad.cpp"), 6u) << r.output;
+  EXPECT_EQ(r.count("src/sim/l2_bad.cpp"), 2u) << r.output;
+  EXPECT_EQ(r.count("src/proto/l3_bad.h"), 3u) << r.output;
+  EXPECT_EQ(r.count("src/mme/l4_bad.cpp"), 3u) << r.output;
+}
+
+TEST(ScaleLint, NegativeFixturesAreCleanAndExitZero) {
+  const LintRun r =
+      run_lint(kFixtures +
+               " src/common/l1_ok.cpp src/sim/l2_ok.cpp src/proto/l3_ok.h"
+               " src/mme/l4_ok.cpp bench");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(ScaleLint, OutOfScopeIterationIsNotFlagged) {
+  // Identical code to l2_bad.cpp, but under bench/ — outside rule L2's
+  // determinism-critical directory set.
+  const LintRun r = run_lint(kFixtures + " bench/l2_scope_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(ScaleLint, MissingExplicitPathIsAUsageError) {
+  const LintRun r = run_lint(kFixtures + " no/such/dir");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(ScaleLint, RealTreeIsClean) {
+  // The acceptance bar for every PR: the production tree has zero findings.
+  const LintRun r =
+      run_lint(std::string("--root ") + SCALE_REPO_ROOT +
+               " src bench tests examples tools");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+}  // namespace

@@ -59,7 +59,7 @@ TEST(PercentileSampler, ExactPercentiles) {
 TEST(PercentileSampler, EmptyThrows) {
   PercentileSampler s;
   EXPECT_TRUE(s.empty());
-  EXPECT_THROW(s.percentile(0.5), CheckError);
+  EXPECT_THROW((void)s.percentile(0.5), CheckError);
 }
 
 TEST(PercentileSampler, ReservoirKeepsCapAndApproximatesQuantiles) {
