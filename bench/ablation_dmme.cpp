@@ -6,8 +6,8 @@
 // the store serializes ALL state traffic. SCALE co-locates state with
 // compute via consistent hashing + replication. Sweep the offered rate and
 // watch where each design's delay knee sits.
-#include "bench_util.h"
 #include "mme/dmme.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -93,21 +93,21 @@ Point run_scale(double rate) {
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Ablation", "SCALE vs dMME (centralized state store)");
-  scale::bench::section(
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "ablation_dmme",
+                           "SCALE vs dMME (centralized state store)");
+  auto& sec = bm.report().section(
       "delay vs offered rate (5 VMs each: dMME = 4 workers + 1 store, "
       "SCALE = 5 MMPs)");
-  scale::bench::row_header({"req/s", "dmme_p50", "dmme_p99", "scale_p50",
-                            "scale_p99"});
+  sec.columns({"req/s", "dmme_p50", "dmme_p99", "scale_p50", "scale_p99"});
   for (double rate : {200.0, 600.0, 1200.0, 1800.0, 2400.0, 3000.0}) {
     const auto d = run_dmme(rate);
     const auto s = run_scale(rate);
-    scale::bench::row({rate, d.p50, d.p99, s.p50, s.p99});
+    sec.row({rate, d.p50, d.p99, s.p50, s.p99});
   }
-  std::printf(
+  bm.report().note(
       "dMME's store round trip sets its delay floor and its store CPU caps "
       "throughput;\nSCALE keeps state next to compute (replicas) and scales "
-      "past it.\n");
-  return 0;
+      "past it.");
+  return bm.finish();
 }

@@ -6,7 +6,7 @@
 // larger MMP fleet and shows the single-MLB knee move out as MLB VMs are
 // added (eNodeBs spread across them; all share ring + load metadata; GUTI
 // spaces are partitioned so allocation needs no coordination).
-#include "bench_util.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -55,10 +55,11 @@ Point run(std::size_t mlbs, double rate) {
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Ablation", "MLB front-end scaling");
-  scale::bench::row_header({"req/s", "1mlb_p99", "1mlb_cpu%", "2mlb_p99",
-                            "2mlb_cpu%", "4mlb_p99", "4mlb_cpu%"});
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "ablation_mlb", "MLB front-end scaling");
+  auto& sec = bm.report().section("p99 delay and peak MLB CPU vs MLB count");
+  sec.columns({"req/s", "1mlb_p99", "1mlb_cpu%", "2mlb_p99", "2mlb_cpu%",
+               "4mlb_p99", "4mlb_cpu%"});
   for (double rate : {2000.0, 4000.0, 6000.0, 8000.0}) {
     std::vector<double> cols = {rate};
     for (std::size_t mlbs : {1u, 2u, 4u}) {
@@ -66,7 +67,7 @@ int main() {
       cols.push_back(p.p99);
       cols.push_back(p.mlb_util);
     }
-    scale::bench::row(cols);
+    sec.row(cols);
   }
-  return 0;
+  return bm.finish();
 }

@@ -5,7 +5,7 @@
 // with idle-only bulk sync: fewer replication messages and less CPU, at the
 // cost of replica staleness during a device's Active run (a failover or
 // replica-served request mid-run would observe older state).
-#include "bench_util.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -50,20 +50,20 @@ Point run(bool sync_every_procedure, double rate) {
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Ablation",
-                       "replica sync: every procedure vs idle-only bulk");
-  scale::bench::row_header({"req/s", "every_p99", "every_msgs", "idle_p99",
-                            "idle_msgs"});
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "ablation_replication",
+                           "replica sync: every procedure vs idle-only bulk");
+  auto& sec = bm.report().section("delay and replication traffic vs strategy");
+  sec.columns({"req/s", "every_p99", "every_msgs", "idle_p99", "idle_msgs"});
   for (double rate : {600.0, 1200.0, 1800.0, 2400.0}) {
     const auto every = run(true, rate);
     const auto idle = run(false, rate);
-    scale::bench::row({rate, every.p99, static_cast<double>(every.replica_msgs),
-                       idle.p99, static_cast<double>(idle.replica_msgs)});
+    sec.row({rate, every.p99, static_cast<double>(every.replica_msgs),
+             idle.p99, static_cast<double>(idle.replica_msgs)});
   }
-  std::printf(
+  bm.report().note(
       "idle-only sync sheds replication messages/CPU near saturation; the\n"
       "price is replica staleness during Active runs (not visible in delay\n"
-      "alone — see ScaleIntegration.ReplicaSyncedOnIdleTransition).\n");
-  return 0;
+      "alone — see ScaleIntegration.ReplicaSyncedOnIdleTransition).");
+  return bm.finish();
 }

@@ -13,9 +13,10 @@
 // devices so the bench completes in seconds while preserving per-VM load
 // and skew ratios.
 #include <cstdlib>
+#include <limits>
 #include <set>
 
-#include "bench_util.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 #include "workload/scenarios.h"
@@ -77,17 +78,17 @@ double s1_run(unsigned R, double hot_boost, unsigned tokens,
   return w.tb.delays().merged().percentile(0.99);
 }
 
-void fig10a() {
-  bench::section(
+void fig10a(obs::Report& rep) {
+  auto& sec = rep.section(
       "Fig 10(a): p99 delay (ms) vs replication factor, skew L1..L4");
-  bench::row_header({"R", "basicCH(L2)", "L1", "L2", "L3", "L4"});
+  sec.columns({"R", "basicCH(L2)", "L1", "L2", "L3", "L4"});
   const double boosts[4] = {1.5, 2.5, 4.0, 6.0};
   for (unsigned R = 1; R <= 4; ++R) {
     std::vector<double> cols = {static_cast<double>(R)};
     cols.push_back(s1_run(R, boosts[1], /*tokens=*/1, 100 + R));
     for (double boost : boosts)
       cols.push_back(s1_run(R, boost, /*tokens=*/5, 200 + R));
-    bench::row(cols);
+    sec.row(cols);
   }
 }
 
@@ -101,7 +102,8 @@ enum class S2Mode { kInd, kRdm1, kRdm2, kScale };
 //   RDM2: DC2 is farther than DC4 (equal loads) and the selector ignores it.
 //   SCALE: same adverse topology as RDM1+RDM2 combined; selection uses
 //         Ŝ (load headroom) and 1/D weighting.
-std::vector<double> s2_run(S2Mode mode, std::uint64_t seed) {
+std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
+                           obs::MetricsRegistry* reg = nullptr) {
   Testbed::Config tcfg;
   tcfg.seed = seed;
   Testbed tb(tcfg);
@@ -241,33 +243,50 @@ std::vector<double> s2_run(S2Mode mode, std::uint64_t seed) {
                   per_dc[dc].empty() ? 0.0 : per_dc[dc].percentile(0.99));
     }
   }
+  if (reg != nullptr) {
+    tb.export_metrics(*reg);
+    for (std::uint32_t dc = 0; dc < kDcs; ++dc) {
+      const std::string dc_prefix = "dc." + std::to_string(dc);
+      clusters[dc]->mlb().export_metrics(*reg, dc_prefix + ".mlb");
+      for (std::size_t i = 0; i < clusters[dc]->mmp_count(); ++i)
+        clusters[dc]->mmp(i).export_metrics(
+            *reg, dc_prefix + ".mmp." + std::to_string(i));
+    }
+  }
   std::vector<double> out;
   for (std::uint32_t dc = 0; dc < kDcs; ++dc)
-    out.push_back(per_dc[dc].empty() ? 0.0 : per_dc[dc].percentile(0.99));
+    out.push_back(per_dc[dc].empty()
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : per_dc[dc].percentile(0.99));
   return out;
 }
 
-void fig10b() {
-  bench::section("Fig 10(b): per-DC p99 (ms), DC1/DC3 overloaded");
-  bench::row_header({"mode", "DC1", "DC2", "DC3", "DC4"});
+void fig10b(obs::Report& rep) {
+  auto& sec = rep.section("Fig 10(b): per-DC p99 (ms), DC1/DC3 overloaded");
+  sec.columns({"mode", "DC1", "DC2", "DC3", "DC4"});
   struct Case {
     const char* name;
     S2Mode mode;
   };
+  // The SCALE case doubles as the metrics-registry showcase: its engine /
+  // fabric / per-MMP counters land under "metrics" in the JSON document.
+  obs::MetricsRegistry registry;
   for (const Case c : {Case{"IND", S2Mode::kInd}, Case{"RDM1", S2Mode::kRdm1},
                        Case{"RDM2", S2Mode::kRdm2},
                        Case{"SCALE", S2Mode::kScale}}) {
-    const auto v = s2_run(c.mode, 5);
-    std::printf("%14s", c.name);
-    bench::row(v);
+    const auto v =
+        s2_run(c.mode, 5, c.mode == S2Mode::kScale ? &registry : nullptr);
+    sec.row(c.name, v);
   }
+  rep.attach_metrics(registry);
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 10", "S1/S2 — large-scale simulations");
-  fig10a();
-  fig10b();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig10_simulation",
+                           "S1/S2 — large-scale simulations");
+  fig10a(bm.report());
+  fig10b(bm.report());
+  return bm.finish();
 }

@@ -9,7 +9,7 @@
 // Scaled-down substitution (EXPERIMENTS.md): K = 30 K devices with
 // S = 600 states/VM, so full replication (β = 1) provisions 100 VMs, as in
 // the paper's 100 K-device setup.
-#include "bench_util.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -85,18 +85,18 @@ Point run(double low_fraction, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 11", "S3 — access-aware replication, x=0.2");
-  scale::bench::section(
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig11_access_aware",
+                           "S3 — access-aware replication, x=0.2");
+  auto& sec = bm.report().section(
       "Fig 11(a,b): VMs provisioned and delays vs low-access fraction");
-  scale::bench::row_header(
-      {"low_frac", "beta", "VMs", "mean_ms", "p99_ms"});
+  sec.columns({"low_frac", "beta", "VMs", "mean_ms", "p99_ms"});
   for (double low_fraction : {0.0, 0.125, 0.25, 0.5}) {
     const auto p = run(low_fraction, 42);
-    scale::bench::row({low_fraction, p.beta, p.vms, p.mean_ms, p.p99_ms});
+    sec.row({low_fraction, p.beta, p.vms, p.mean_ms, p.p99_ms});
   }
-  std::printf(
-      "β=1 provisions for 2 copies of every device; β≈0.75 (50%% dormant)\n"
-      "cuts VMs ~25%% without materially moving the delay (paper Fig 11).\n");
-  return 0;
+  bm.report().note(
+      "β=1 provisions for 2 copies of every device; β≈0.75 (50% dormant)\n"
+      "cuts VMs ~25% without materially moving the delay (paper Fig 11).");
+  return bm.finish();
 }

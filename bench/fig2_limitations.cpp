@@ -9,10 +9,11 @@
 //      overload level, against the zero-overhead IDEAL split.
 //  (d) Scaling-out: a second MME added at t=10 s only captures new
 //      registrations; per-MME delays take tens of seconds to equalize.
+#include <limits>
 #include <map>
 
-#include "bench_util.h"
 #include "mme/pool.h"
+#include "obs/bench_main.h"
 #include "testbed/testbed.h"
 #include "workload/arrivals.h"
 
@@ -84,9 +85,9 @@ double sweep_point_driver(double rate, workload::ProcedureMix mix,
   return w.tb.p99_ms(bucket);
 }
 
-void fig2a() {
-  bench::section("Fig 2(a): 99th %tile delay vs requests/s (one MME)");
-  bench::row_header({"req/s", "attach_ms", "service_ms", "handover_ms"});
+void fig2a(obs::Report& rep) {
+  auto& sec = rep.section("Fig 2(a): 99th %tile delay vs requests/s (one MME)");
+  sec.columns({"req/s", "attach_ms", "service_ms", "handover_ms"});
   for (double rate : {200.0, 400.0, 600.0, 800.0, 1200.0, 1600.0, 2000.0,
                       2400.0}) {
     const double attach = sweep_point_attach(rate);
@@ -101,7 +102,7 @@ void fig2a() {
     // Long inactivity: devices stay connected, handovers always possible.
     const double handover = sweep_point_driver(
         rate, ho_mix, "handover", Duration::sec(3600.0), 3000);
-    bench::row({rate, attach, service, handover});
+    sec.row({rate, attach, service, handover});
   }
 }
 
@@ -176,30 +177,32 @@ ReassignmentRun reassignment_run(bool overload, double overload_factor,
   return out;
 }
 
-void fig2b() {
-  bench::section("Fig 2(b): attach delay CDF, light vs overloaded (reactive)");
+void fig2b(obs::Report& rep) {
+  auto& sec =
+      rep.section("Fig 2(b): attach delay CDF, light vs overloaded (reactive)");
   const auto light = reassignment_run(false, 0.0, true);
   const auto loaded = reassignment_run(true, 1.3, true);
-  bench::print_cdf("light load      ", light.subject_attach_delays);
-  bench::print_cdf("overload+reasgn ", loaded.subject_attach_delays);
+  sec.cdf("light load      ", light.subject_attach_delays);
+  sec.cdf("overload+reasgn ", loaded.subject_attach_delays);
 }
 
-void fig2c() {
-  bench::section("Fig 2(c): actual load % vs overload % (3GPP vs IDEAL)");
-  bench::row_header({"overload%", "mme1_3gpp", "mme2_3gpp", "total_3gpp",
-                     "total_ideal"});
+void fig2c(obs::Report& rep) {
+  auto& sec =
+      rep.section("Fig 2(c): actual load % vs overload % (3GPP vs IDEAL)");
+  sec.columns({"overload%", "mme1_3gpp", "mme2_3gpp", "total_3gpp",
+               "total_ideal"});
   for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) {
     const auto run = reassignment_run(true, 1.0 + x / 100.0, false);
     // IDEAL: the peer absorbs exactly the excess with zero overhead, so
     // the pool-wide load is 100% + x of one MME.
-    bench::row({x, run.load1, run.load2, run.load1 + run.load2, 100.0 + x});
+    sec.row({x, run.load1, run.load2, run.load1 + run.load2, 100.0 + x});
   }
 }
 
 // ---------------------------------------------------------------- Fig 2(d)
 
-void fig2d() {
-  bench::section(
+void fig2d(obs::Report& rep) {
+  auto& sec = rep.section(
       "Fig 2(d): scale-out — delays per MME vs time (MME2 added at t=10s)");
   // SR ≈ 21 ms, attach ≈ 59 ms of CPU at speed 0.02. Offered: 38 SR/s
   // (≈80% of capacity) + 5 attach/s of brand-new devices (≈29%) — mildly
@@ -244,28 +247,31 @@ void fig2d() {
 
   w.tb.run_for(Duration::sec(60.0));
 
-  bench::row_header({"t_sec", "mme1_ms", "mme2_ms"});
+  sec.columns({"t_sec", "mme1_ms", "mme2_ms"});
   for (int window = 0; window < 12; ++window) {
     const double t = window * 5.0 + 2.5;
     auto delay_of = [&](std::uint8_t code) -> double {
       auto it = per_code_window.find(code);
-      if (it == per_code_window.end()) return 0.0;
+      if (it == per_code_window.end())
+        return std::numeric_limits<double>::quiet_NaN();
       auto wit = it->second.find(window);
-      if (wit == it->second.end() || wit->second.empty()) return 0.0;
+      if (wit == it->second.end() || wit->second.empty())
+        return std::numeric_limits<double>::quiet_NaN();
       return wit->second.mean();
     };
-    bench::row({t, delay_of(1), delay_of(2)});
+    sec.row({t, delay_of(1), delay_of(2)});
   }
-  std::printf("(0.00 = no completions for that MME in the window)\n");
+  sec.note("(nan = no completions for that MME in the window)");
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 2", "limitations of the 3GPP MME platform");
-  fig2a();
-  fig2b();
-  fig2c();
-  fig2d();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig2_limitations",
+                           "limitations of the 3GPP MME platform");
+  fig2a(bm.report());
+  fig2b(bm.report());
+  fig2c(bm.report());
+  fig2d(bm.report());
+  return bm.finish();
 }

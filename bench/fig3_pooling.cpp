@@ -7,8 +7,8 @@
 //      across DCs (static assignment sends a fixed share of devices to the
 //      remote MME forever, inflating their delays even when the local DC
 //      has headroom).
-#include "bench_util.h"
 #include "mme/pool.h"
+#include "obs/bench_main.h"
 #include "testbed/testbed.h"
 #include "workload/arrivals.h"
 
@@ -17,9 +17,10 @@ namespace {
 using namespace scale;
 using testbed::Testbed;
 
-void fig3a() {
-  bench::section("Fig 3(a): 99th %tile delay vs eNodeB-MME RTT (one MME)");
-  bench::row_header({"rtt_ms", "attach_ms", "service_ms", "handover_ms"});
+void fig3a(obs::Report& rep) {
+  auto& sec =
+      rep.section("Fig 3(a): 99th %tile delay vs eNodeB-MME RTT (one MME)");
+  sec.columns({"rtt_ms", "attach_ms", "service_ms", "handover_ms"});
   for (double rtt_ms : {30.0, 20.0, 10.0, 0.0}) {
     Testbed tb;
     auto& site = tb.add_site(2);
@@ -56,13 +57,14 @@ void fig3a() {
     }
     tb.run_for(Duration::sec(18.0));
 
-    bench::row({rtt_ms, tb.p99_ms("attach"), tb.p99_ms("service_request"),
-                tb.p99_ms("handover")});
+    sec.row({rtt_ms, tb.p99_ms(proto::ProcedureType::kAttach),
+             tb.p99_ms(proto::ProcedureType::kServiceRequest),
+             tb.p99_ms(proto::ProcedureType::kHandover)});
   }
 }
 
-void fig3b() {
-  bench::section(
+void fig3b(obs::Report& rep) {
+  auto& sec = rep.section(
       "Fig 3(b): delay CDF under average load, single-DC vs split pool");
   for (const bool split : {false, true}) {
     Testbed tb;
@@ -92,16 +94,17 @@ void fig3b() {
     driver.start(tb.engine().now() + Duration::sec(15.0));
     tb.run_for(Duration::sec(18.0));
 
-    bench::print_cdf(split ? "multi-DC pool " : "single-DC pool",
-                     tb.delays().merged());
+    sec.cdf(split ? "multi-DC pool " : "single-DC pool",
+            tb.delays().merged());
   }
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 3", "static MME pooling across DCs");
-  fig3a();
-  fig3b();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig3_pooling",
+                           "static MME pooling across DCs");
+  fig3a(bm.report());
+  fig3b(bm.report());
+  return bm.finish();
 }

@@ -8,20 +8,20 @@
 
 #include "analysis/access_model.h"
 #include "analysis/replication_model.h"
-#include "bench_util.h"
+#include "obs/bench_main.h"
 #include "workload/population.h"
 
 namespace {
 
 using namespace scale;
 
-void fig6a() {
-  bench::section("Fig 6(a): normalized cost vs arrival rate, R = 1,2,3");
+void fig6a(obs::Report& rep) {
+  auto& sec = rep.section("Fig 6(a): normalized cost vs arrival rate, R = 1,2,3");
   // Epoch T = 60 s; N = 240 servable devices per epoch puts the R=1 knee
   // near λ ≈ 0.8-0.9 (overflow probability q^N transitions there); cost_C
   // normalizes the R=1 saturation value to ≈20 as in the paper's plot.
   const auto wis = workload::uniform_access(64, 0.9);
-  bench::row_header({"rate", "R=1", "R=2", "R=3"});
+  sec.columns({"rate", "R=1", "R=2", "R=3"});
   for (double lambda = 0.1; lambda <= 1.001; lambda += 0.1) {
     analysis::ReplicationModel::Params p;
     p.lambda = lambda;
@@ -29,13 +29,13 @@ void fig6a() {
     p.capacity_N = 240;
     p.cost_C = 12.0;
     analysis::ReplicationModel model(p);
-    bench::row({lambda, model.average_cost(wis, 1), model.average_cost(wis, 2),
-                model.average_cost(wis, 3)});
+    sec.row({lambda, model.average_cost(wis, 1), model.average_cost(wis, 2),
+             model.average_cost(wis, 3)});
   }
 }
 
-void fig6b() {
-  bench::section(
+void fig6b(obs::Report& rep) {
+  auto& sec = rep.section(
       "Fig 6(b): cost vs arrival rate, random vs access-aware replication");
   // Memory-constrained: V·S' = 1.5·K < R·K. IoT-style population: 75% of
   // devices are dormant THIS epoch (wᵢ → 0: they pin memory — each still
@@ -43,7 +43,7 @@ void fig6b() {
   // access-unaware baseline wastes half the spare replicas on dormant
   // devices, leaving half the hot population unprotected at the knee.
   std::vector<double> wis = workload::bimodal_access(400, 0.75, 0.0, 0.9);
-  bench::row_header({"rate", "random", "probabilistic"});
+  sec.columns({"rate", "random", "probabilistic"});
   for (double lambda = 0.70; lambda <= 1.001; lambda += 0.05) {
     analysis::AccessAwareModel::Params p;
     p.base.lambda = lambda;
@@ -55,17 +55,17 @@ void fig6b() {
     p.devices_K = 400;
     p.target_replicas_R = 2;
     analysis::AccessAwareModel model(p);
-    bench::row({lambda, model.average_cost(wis, /*access_aware=*/false),
-                model.average_cost(wis, /*access_aware=*/true)});
+    sec.row({lambda, model.average_cost(wis, /*access_aware=*/false),
+             model.average_cost(wis, /*access_aware=*/true)});
   }
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 6",
-                       "stochastic replication model (Appendix A1/A2)");
-  fig6a();
-  fig6b();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig6_analysis",
+                           "stochastic replication model (Appendix A1/A2)");
+  fig6a(bm.report());
+  fig6b(bm.report());
+  return bm.finish();
 }

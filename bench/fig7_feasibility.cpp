@@ -6,7 +6,9 @@
 //  (b) E2 — Replication overhead: an attach/activity burst loads MMP1 to
 //      ~90%; when the devices fall Idle, the bulk replica synchronization
 //      costs only a few percent of CPU.
-#include "bench_util.h"
+#include <cstdio>
+
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -14,8 +16,8 @@ namespace {
 
 using namespace scale;
 
-void fig7a() {
-  bench::section("Fig 7(a) / E1: MLB CPU vs saturated MMP count");
+void fig7a(obs::Report& rep) {
+  auto& sec = rep.section("Fig 7(a) / E1: MLB CPU vs saturated MMP count");
   core::ScaleCluster::Config cfg;
   cfg.initial_mmps = 1;
   cfg.ring_tokens = 16;  // even arcs so every added VM saturates alike
@@ -51,22 +53,25 @@ void fig7a() {
   w.tb.run_for(Duration::sec(20.0));
   sampler.stop();
 
-  bench::row_header({"t_sec", "mlb%", "mmp1%", "mmp2%", "mmp3%", "mmp4%"});
+  sec.columns({"t_sec", "mlb%", "mmp1%", "mmp2%", "mmp3%", "mmp4%"});
   const auto& mlb_series = sampler.series("mlb");
   for (const auto& [t, mlb_util] : mlb_series.points()) {
     auto at = [&](const std::string& name) -> double {
       return sampler.has(name) ? sampler.series(name).value_at(t) * 100.0
                                : 0.0;
     };
-    bench::row({(t - t0).to_sec(), mlb_util * 100.0, at("mmp1"), at("mmp2"),
-                at("mmp3"), at("mmp4")});
+    sec.row({(t - t0).to_sec(), mlb_util * 100.0, at("mmp1"), at("mmp2"),
+             at("mmp3"), at("mmp4")});
   }
-  std::printf("peak MLB utilization: %.0f%% (MMPs saturate at ~100%%)\n",
-              mlb_series.max_value() * 100.0);
+  char line[128];
+  std::snprintf(line, sizeof line,
+                "peak MLB utilization: %.0f%% (MMPs saturate at ~100%%)",
+                mlb_series.max_value() * 100.0);
+  sec.note(line);
 }
 
-void fig7b() {
-  bench::section("Fig 7(b) / E2: CPU cost of bulk replica sync at idle");
+void fig7b(obs::Report& rep) {
+  auto& sec = rep.section("Fig 7(b) / E2: CPU cost of bulk replica sync at idle");
   core::ScaleCluster::Config cfg;
   cfg.initial_mmps = 2;
   cfg.vm_template.cpu_speed = 0.1;  // attach ≈ 12 ms: the burst saturates
@@ -96,10 +101,10 @@ void fig7b() {
   w.tb.run_for(Duration::sec(20.0));
   sampler.stop();
 
-  bench::row_header({"t_sec", "mmp1%", "mmp2%"});
+  sec.columns({"t_sec", "mmp1%", "mmp2%"});
   for (const auto& [t, util] : sampler.series("mmp1").points())
-    bench::row({t.to_sec(), util * 100.0,
-                sampler.series("mmp2").value_at(t) * 100.0});
+    sec.row({t.to_sec(), util * 100.0,
+             sampler.series("mmp2").value_at(t) * 100.0});
 
   const double burst =
       sampler.series("mmp1").mean_in(Time::from_sec(0.0), Time::from_sec(3.0));
@@ -116,17 +121,20 @@ void fig7b() {
             profile.replica_apply.to_sec()) /
        speed) /
       3.0;
-  std::printf(
-      "attach-burst CPU: %.0f%%; idle-window CPU: %.1f%% of which "
-      "replication sync: %.1f%% (<8%%)\n",
-      burst * 100.0, sync * 100.0, replication_cpu * 100.0);
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "attach-burst CPU: %.0f%%; idle-window CPU: %.1f%% of which "
+                "replication sync: %.1f%% (<8%%)",
+                burst * 100.0, sync * 100.0, replication_cpu * 100.0);
+  sec.note(line);
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 7", "E1/E2 — MLB overhead & replication cost");
-  fig7a();
-  fig7b();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig7_feasibility",
+                           "E1/E2 — MLB overhead & replication cost");
+  fig7a(bm.report());
+  fig7b(bm.report());
+  return bm.finish();
 }

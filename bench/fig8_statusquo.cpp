@@ -9,9 +9,10 @@
 //        for Local-only / Current (split pool) / SCALE as DC1 load grows.
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 
-#include "bench_util.h"
 #include "mme/pool.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -106,30 +107,31 @@ RunResult run_scale_system() {
   return out;
 }
 
-void fig8abc() {
+void fig8abc(obs::Report& rep) {
   auto current = run_current();
   auto scaled = run_scale_system();
 
-  bench::section("Fig 8(a): delay CDF, one VM's devices driven past capacity");
-  bench::print_cdf("current (3GPP) ", current.delays);
-  bench::print_cdf("SCALE          ", scaled.delays);
+  auto& sec_a =
+      rep.section("Fig 8(a): delay CDF, one VM's devices driven past capacity");
+  sec_a.cdf("current (3GPP) ", current.delays);
+  sec_a.cdf("SCALE          ", scaled.delays);
 
-  bench::section("Fig 8(b): CPU of VM1 over time");
-  bench::row_header({"t_sec", "current%", "scale%"});
+  auto& sec_b = rep.section("Fig 8(b): CPU of VM1 over time");
+  sec_b.columns({"t_sec", "current%", "scale%"});
   const auto& c1 = current.vm1.points();
   for (std::size_t i = 0; i < c1.size(); i += 2) {
     const Time t = c1[i].first;
-    bench::row({t.to_sec(), c1[i].second * 100.0,
-                scaled.vm1.value_at(t) * 100.0});
+    sec_b.row({t.to_sec(), c1[i].second * 100.0,
+               scaled.vm1.value_at(t) * 100.0});
   }
 
-  bench::section("Fig 8(c): CPU of VM2 over time");
-  bench::row_header({"t_sec", "current%", "scale%"});
+  auto& sec_c = rep.section("Fig 8(c): CPU of VM2 over time");
+  sec_c.columns({"t_sec", "current%", "scale%"});
   const auto& c2 = current.vm2.points();
   for (std::size_t i = 0; i < c2.size(); i += 2) {
     const Time t = c2[i].first;
-    bench::row({t.to_sec(), c2[i].second * 100.0,
-                scaled.vm2.value_at(t) * 100.0});
+    sec_c.row({t.to_sec(), c2[i].second * 100.0,
+               scaled.vm2.value_at(t) * 100.0});
   }
 }
 
@@ -266,14 +268,15 @@ double geo_run(GeoMode mode, double dc1_load_factor, std::uint64_t seed) {
                 static_cast<unsigned long long>(served),
                 static_cast<unsigned long long>(rej));
   }
-  return dc1_delays.empty() ? 0.0 : dc1_delays.percentile(0.99);
+  return dc1_delays.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : dc1_delays.percentile(0.99);
 }
 
-void fig8d() {
-  bench::section(
+void fig8d(obs::Report& rep) {
+  auto& sec = rep.section(
       "Fig 8(d): 99th %tile at DC1 (mean±sd over 5 seeds) vs DC1 load");
-  bench::row_header({"dc1_load", "local_ms", "±", "current_ms", "±",
-                     "scale_ms", "±"});
+  sec.columns({"dc1_load", "local_ms", "±", "current_ms", "±",
+               "scale_ms", "±"});
   struct Level {
     const char* name;
     double factor;
@@ -291,17 +294,17 @@ void fig8d() {
       out[mi][1] = stats.stddev();
       ++mi;
     }
-    std::printf("%14s", level.name);
-    bench::row({out[0][0], out[0][1], out[1][0], out[1][1], out[2][0],
-                out[2][1]});
+    sec.row(level.name, {out[0][0], out[0][1], out[1][0], out[1][1],
+                         out[2][0], out[2][1]});
   }
 }
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 8", "E4 — SCALE vs current 3GPP systems");
-  fig8abc();
-  fig8d();
-  return 0;
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig8_statusquo",
+                           "E4 — SCALE vs current 3GPP systems");
+  fig8abc(bm.report());
+  fig8d(bm.report());
+  return bm.finish();
 }

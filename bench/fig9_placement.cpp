@@ -7,8 +7,10 @@
 //
 //  (a) CPU usage of VM1/VM2 under both systems;
 //  (b) delay CDF: SIMPLE p99 > 2× SCALE p99.
-#include "bench_util.h"
+#include <cstdio>
+
 #include "mme/simple.h"
+#include "obs/bench_main.h"
 #include "scale_world.h"
 #include "workload/arrivals.h"
 
@@ -113,24 +115,26 @@ RunResult run_scale() {
 
 }  // namespace
 
-int main() {
-  scale::bench::banner("Figure 9",
-                       "E3 — replica placement: SIMPLE vs SCALE");
+int main(int argc, char** argv) {
+  scale::obs::BenchMain bm(argc, argv, "fig9_placement",
+                           "E3 — replica placement: SIMPLE vs SCALE");
   auto simple = run_simple();
   auto scale_run = run_scale();
 
-  scale::bench::section("Fig 9(a): CPU usage while VM1's devices run at 2x");
-  scale::bench::row_header({"system", "vm1_cpu%", "vm2_cpu%"});
-  std::printf("%14s%14.2f%14.2f\n", "SIMPLE", simple.vm1_util * 100.0,
-              simple.vm2_util * 100.0);
-  std::printf("%14s%14.2f%14.2f\n", "SCALE", scale_run.vm1_util * 100.0,
-              scale_run.vm2_util * 100.0);
+  auto& sec_a =
+      bm.report().section("Fig 9(a): CPU usage while VM1's devices run at 2x");
+  sec_a.columns({"system", "vm1_cpu%", "vm2_cpu%"});
+  sec_a.row("SIMPLE", {simple.vm1_util * 100.0, simple.vm2_util * 100.0});
+  sec_a.row("SCALE", {scale_run.vm1_util * 100.0, scale_run.vm2_util * 100.0});
 
-  scale::bench::section("Fig 9(b): delay CDF");
-  scale::bench::print_cdf("SIMPLE", simple.delays);
-  scale::bench::print_cdf("SCALE ", scale_run.delays);
-  std::printf("p99 ratio SIMPLE/SCALE: %.1fx (paper: >400ms vs <200ms)\n",
-              simple.delays.percentile(0.99) /
-                  std::max(1e-9, scale_run.delays.percentile(0.99)));
-  return 0;
+  auto& sec_b = bm.report().section("Fig 9(b): delay CDF");
+  sec_b.cdf("SIMPLE", simple.delays);
+  sec_b.cdf("SCALE ", scale_run.delays);
+  char line[96];
+  std::snprintf(line, sizeof line,
+                "p99 ratio SIMPLE/SCALE: %.1fx (paper: >400ms vs <200ms)",
+                simple.delays.percentile(0.99) /
+                    std::max(1e-9, scale_run.delays.percentile(0.99)));
+  sec_b.note(line);
+  return bm.finish();
 }

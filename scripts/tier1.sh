@@ -16,9 +16,15 @@ cmake --build build -j"${JOBS}"
 # clang-tidy via the exported compile commands. Any finding fails tier-1.
 scripts/lint.sh build
 
+# Bench-smoke leg (DESIGN.md "Observability"): one cheap bench emits its
+# scale-bench-v1 JSON and the in-tree checker validates it, so a schema
+# regression in obs::Report fails the gate before any plotting script sees it.
+build/bench/fig6_analysis --json build/BENCH_fig6_analysis.json >/dev/null
+build/tools/obs/bench_json_check build/BENCH_fig6_analysis.json
+
 cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"${JOBS}" --target scale_tests
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network')
+  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs')
 
 echo "tier-1: OK"

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,13 @@ class OnlineStats {
   double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  ///< population variance
   [[nodiscard]] double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// NaN when empty — a silent 0.0 reads as a real observation.
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const { return sum_; }
 
  private:

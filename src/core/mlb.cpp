@@ -1,6 +1,8 @@
 #include "core/mlb.h"
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scale::core {
 
@@ -106,6 +108,14 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   const NodeId target =
       alternatives.empty() ? rej.mmp_node : pick_least_loaded(alternatives);
   ++overload_resteers_;
+  if (obs::Tracer* tr = obs::Tracer::current()) {
+    obs::Json args = obs::Json::object();
+    args.set("shedder", rej.mmp_node);
+    args.set("resteered_to", target);
+    args.set("guti", rej.guti.str());
+    tr->instant(node_, "shed_resteer", fabric_.engine().now(),
+                std::move(args));
+  }
   forward(target, rej.origin, rej.guti, rej.inner->value,
           /*no_offload=*/true);
 }
@@ -289,6 +299,22 @@ void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
         }
       },
       *app);
+}
+
+void Mlb::export_metrics(obs::MetricsRegistry& reg,
+                         const std::string& prefix) const {
+  reg.set_counter(prefix + ".initial_routed", initial_routed_);
+  reg.set_counter(prefix + ".sticky_routed", sticky_routed_);
+  reg.set_counter(prefix + ".relays", relays_);
+  reg.set_counter(prefix + ".unroutable", unroutable_);
+  reg.set_counter(prefix + ".overload_rejects", overload_rejects_);
+  reg.set_counter(prefix + ".overload_resteers", overload_resteers_);
+  reg.set(prefix + ".utilization", util_.utilization());
+  reg.set(prefix + ".ring_version", static_cast<double>(ring_version_));
+  rel_.export_metrics(reg, prefix + ".transport");
+  // Per-MMP load scalars, keyed by NodeId so names enumerate sorted.
+  for (const auto& [mmp, load] : loads_)  // lint: order-independent
+    reg.set(prefix + ".load." + std::to_string(mmp), load);
 }
 
 }  // namespace scale::core

@@ -85,6 +85,11 @@ class Mlb : public Endpoint {
   std::uint64_t overload_resteers() const { return overload_resteers_; }
   const epc::ReliableChannel& transport() const { return rel_; }
 
+  /// Publish routing counters + load map under `prefix` ("mlb.relays",
+  /// "mlb.load.<node>", ...). Read-only.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+
  private:
   void route_initial(NodeId from, const proto::InitialUeMessage& msg);
   void route_geo_forward(NodeId from, const proto::GeoForward& gf);

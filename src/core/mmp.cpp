@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scale::core {
 
@@ -93,6 +95,13 @@ void MmpNode::handle_forward(NodeId from, const proto::ClusterForward& fwd) {
           geo_->mlb_of_dc(static_cast<std::uint32_t>(ctx->rec.external_dc));
       if (remote_mlb != 0) {
         ++geo_offloads_;
+        if (obs::Tracer* tr = obs::Tracer::current()) {
+          obs::Json args = obs::Json::object();
+          args.set("remote_mlb", remote_mlb);
+          args.set("guti", fwd.guti.str());
+          tr->instant(node(), "geo_offload", fabric_.engine().now(),
+                      std::move(args));
+        }
         proto::GeoForward gf;
         gf.origin = fwd.origin;
         gf.home_dc = geo_->dc_id();
@@ -113,6 +122,13 @@ void MmpNode::handle_forward(NodeId from, const proto::ClusterForward& fwd) {
     if (!fwd.no_offload && mmp_cfg_.shed_backlog > Duration::zero() &&
         backlog >= mmp_cfg_.shed_backlog && lb() != 0) {
       ++overload_sheds_;
+      if (obs::Tracer* tr = obs::Tracer::current()) {
+        obs::Json args = obs::Json::object();
+        args.set("guti", fwd.guti.str());
+        args.set("backlog_ms", backlog.to_ms());
+        tr->instant(node(), "overload_shed", fabric_.engine().now(),
+                    std::move(args));
+      }
       proto::OverloadReject rej;
       rej.mmp_node = node();
       rej.origin = fwd.origin;
@@ -272,6 +288,16 @@ void MmpNode::geo_replicate(std::uint64_t guti_key, std::uint32_t dc) {
   const auto target = local_replica_target(guti_key);
   if (target && *target != node())
     push_replica(*target, ctx->rec, /*geo=*/false);
+}
+
+void MmpNode::export_metrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  ClusterVm::export_metrics(reg, prefix);
+  reg.set_counter(prefix + ".geo_offloads", geo_offloads_);
+  reg.set_counter(prefix + ".geo_served", geo_served_);
+  reg.set_counter(prefix + ".geo_rejects", geo_rejects_);
+  reg.set_counter(prefix + ".forwarded_to_master", forwarded_to_master_);
+  reg.set_counter(prefix + ".overload_sheds", overload_sheds_);
 }
 
 }  // namespace scale::core

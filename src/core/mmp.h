@@ -68,6 +68,10 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t forwarded_to_master() const { return forwarded_to_master_; }
   std::uint64_t overload_sheds() const { return overload_sheds_; }
 
+  /// ClusterVm counters plus the MMP-specific geo/shed counters.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const override;
+
  protected:
   void handle_forward(NodeId from, const proto::ClusterForward& fwd) override;
   void handle_other_cluster(NodeId from,

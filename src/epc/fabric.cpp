@@ -1,9 +1,35 @@
 #include "epc/fabric.h"
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "proto/codec.h"
 
 namespace scale::epc {
+
+namespace {
+
+// Hop/fault annotations for an attached tracer. Kept out of line so the
+// clean path (no sink) pays exactly the Tracer::current() null check.
+void trace_hop(sim::NodeId from, sim::NodeId to, const proto::Pdu& pdu,
+               Time now, Duration latency) {
+  obs::Tracer* tr = obs::Tracer::current();
+  obs::Json args = obs::Json::object();
+  args.set("from", from);
+  tr->complete(to, proto::pdu_name(pdu), now, latency, std::move(args));
+}
+
+void trace_fault(sim::NodeId from, sim::NodeId to, const proto::Pdu& pdu,
+                 Time now, sim::FaultCause cause) {
+  obs::Tracer* tr = obs::Tracer::current();
+  obs::Json args = obs::Json::object();
+  args.set("from", from);
+  args.set("pdu", proto::pdu_name(pdu));
+  args.set("cause", sim::fault_cause_name(cause));
+  tr->instant(to, "fault", now, std::move(args));
+}
+
+}  // namespace
 
 Fabric::Fabric(sim::Engine& engine, sim::Network& network)
     : engine_(engine), network_(network) {}
@@ -34,10 +60,15 @@ void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
     if (!v.deliver) {
       SCALE_DEBUG("fault-dropped " << proto::pdu_name(pdu) << " " << from
                                    << " -> " << to);
+      if (obs::Tracer::current() != nullptr)
+        trace_fault(from, to, pdu, engine_.now(), v.cause);
       return;  // lost on the wire; counted in network().fault_counters()
     }
     if (v.latency_factor != 1.0) latency = latency * v.latency_factor;
     latency = latency + v.extra_delay;
+    if (v.cause != sim::FaultCause::kNone &&
+        obs::Tracer::current() != nullptr)
+      trace_fault(from, to, pdu, engine_.now(), v.cause);
     if (v.duplicate) {
       // The duplicate trails the original by one (deterministic) configured
       // latency — no extra Rng draw, so replays stay byte-identical.
@@ -45,6 +76,8 @@ void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
               latency + network_.configured_latency(from, to));
     }
   }
+  if (obs::Tracer::current() != nullptr)
+    trace_hop(from, to, pdu, engine_.now(), latency);
   deliver(from, to, std::move(pdu), latency);
 }
 
@@ -56,6 +89,12 @@ void Fabric::deliver(NodeId from, NodeId to, proto::Pdu pdu,
       ++dropped_;
       SCALE_DEBUG("dropped " << proto::pdu_name(p) << " to departed node "
                              << to);
+      if (obs::Tracer* tr = obs::Tracer::current()) {
+        obs::Json args = obs::Json::object();
+        args.set("from", from);
+        args.set("pdu", proto::pdu_name(p));
+        tr->instant(to, "dead_endpoint", engine_.now(), std::move(args));
+      }
       return;
     }
     it->second->receive(from, p);
@@ -65,6 +104,12 @@ void Fabric::deliver(NodeId from, NodeId to, proto::Pdu pdu,
 void Fabric::reset_counters() {
   dropped_ = 0;
   network_.reset_counters();
+}
+
+void Fabric::export_metrics(obs::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.set_counter(prefix + ".dead_endpoint_drops", dropped_);
+  reg.set(prefix + ".endpoints", static_cast<double>(endpoints_.size()));
 }
 
 }  // namespace scale::epc

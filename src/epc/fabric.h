@@ -13,11 +13,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 
 #include "proto/pdu.h"
 #include "sim/engine.h"
 #include "sim/network.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
 
 namespace scale::epc {
 
@@ -77,6 +82,11 @@ class Fabric {
   /// Zero the dead-endpoint drop counter together with the network's
   /// transfer + fault counters (one measurement window, one reset).
   void reset_counters();
+
+  /// Publish fabric-level counters under `prefix` ("fabric.dead_drops",
+  /// "fabric.endpoints"). Read-only.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
   sim::Engine& engine() { return engine_; }
   sim::Network& network() { return network_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scale::epc {
 
@@ -54,12 +56,29 @@ void ReliableChannel::on_timeout(NodeId to, std::uint64_t seq) {
     ++abandoned_;
     SCALE_DEBUG("abandoned seq " << seq << " " << self_ << " -> " << to
                                  << " after " << p.attempt << " retransmits");
+    if (obs::Tracer* tr = obs::Tracer::current()) {
+      obs::Json args = obs::Json::object();
+      args.set("peer", to);
+      args.set("seq", seq);
+      args.set("attempts", p.attempt);
+      tr->instant(self_, "rto_abandon", fabric_.engine().now(),
+                  std::move(args));
+    }
     peer_it->second.erase(it);
     return;
   }
   ++p.attempt;
   ++retransmits_;
   p.rto = std::min(p.rto * cfg_.rto_backoff, cfg_.rto_max);
+  if (obs::Tracer* tr = obs::Tracer::current()) {
+    obs::Json args = obs::Json::object();
+    args.set("peer", to);
+    args.set("seq", seq);
+    args.set("attempt", p.attempt);
+    args.set("rto_ms", p.rto.to_ms());
+    tr->instant(self_, "rto_retransmit", fabric_.engine().now(),
+                std::move(args));
+  }
   transmit(to, seq, p);
   arm_timer(to, seq, p.rto);
 }
@@ -97,6 +116,13 @@ const proto::Pdu* ReliableChannel::unwrap(NodeId from,
     return &data->inner->value;
   }
   return &pdu;
+}
+
+void ReliableChannel::export_metrics(obs::MetricsRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.set_counter(prefix + ".retransmits", retransmits_);
+  reg.set_counter(prefix + ".abandoned", abandoned_);
+  reg.set_counter(prefix + ".dups_suppressed", dups_suppressed_);
 }
 
 }  // namespace scale::epc

@@ -53,6 +53,11 @@ class ReliableChannel {
   std::uint64_t abandoned() const { return abandoned_; }
   std::uint64_t duplicates_suppressed() const { return dups_suppressed_; }
 
+  /// Publish shim counters under `prefix` (".retransmits", ".abandoned",
+  /// ".dups_suppressed"). Read-only.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+
  private:
   struct Pending {
     proto::PduRef inner;

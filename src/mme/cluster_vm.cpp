@@ -1,6 +1,7 @@
 #include "mme/cluster_vm.h"
 
 #include "common/logging.h"
+#include "obs/registry.h"
 
 namespace scale::mme {
 
@@ -207,6 +208,24 @@ void ClusterVm::push_replica(NodeId target, const proto::UeContextRecord& rec,
     push.geo = geo;
     rel_.send(target, proto::pdu_of(proto::ClusterMessage{push}));
   });
+}
+
+void ClusterVm::export_metrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const {
+  reg.set_counter(prefix + ".requests_handled", requests_handled_);
+  reg.set_counter(prefix + ".forwards_out", forwards_out_);
+  reg.set_counter(prefix + ".replicas_pushed", replicas_pushed_);
+  reg.set_counter(prefix + ".replicas_applied", replicas_applied_);
+  reg.set(prefix + ".utilization", util_.utilization());
+  const auto& store = app_.store();
+  reg.set(prefix + ".contexts", static_cast<double>(store.size()));
+  reg.set(prefix + ".contexts_master",
+          static_cast<double>(store.count(epc::ContextRole::kMaster)));
+  reg.set(prefix + ".contexts_replica",
+          static_cast<double>(store.count(epc::ContextRole::kReplica)));
+  reg.set(prefix + ".contexts_external",
+          static_cast<double>(store.count(epc::ContextRole::kExternal)));
+  rel_.export_metrics(reg, prefix + ".transport");
 }
 
 }  // namespace scale::mme

@@ -10,11 +10,16 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "epc/fabric.h"
 #include "epc/reliable.h"
 #include "mme/mme_app.h"
 #include "sim/metrics.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
 
 namespace scale::mme {
 
@@ -61,6 +66,11 @@ class ClusterVm : public epc::Endpoint {
   std::uint64_t replicas_pushed() const { return replicas_pushed_; }
   std::uint64_t replicas_applied() const { return replicas_applied_; }
   const epc::ReliableChannel& transport() const { return rel_; }
+
+  /// Publish per-VM counters under `prefix` (e.g. "mmp.3."). Subclasses
+  /// extend with their own counters. Read-only.
+  virtual void export_metrics(obs::MetricsRegistry& reg,
+                              const std::string& prefix) const;
 
   void receive(NodeId from, const proto::Pdu& pdu) override;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace scale::mme {
 
@@ -144,6 +146,13 @@ MmeNode* MmeNode::least_loaded_peer() {
 void MmeNode::shed_context(UeContext& ctx, MmeNode& peer, NodeId enb,
                            proto::EnbUeId enb_ue_id) {
   ++devices_shed_;
+  if (obs::Tracer* tr = obs::Tracer::current()) {
+    obs::Json args = obs::Json::object();
+    args.set("peer", peer.node());
+    args.set("guti", ctx.rec.guti.str());
+    tr->instant(node_, "reactive_shed", fabric_.engine().now(),
+                std::move(args));
+  }
   const proto::UeContextRecord rec = [&] {
     proto::UeContextRecord r = ctx.rec;
     r.active = false;
@@ -190,6 +199,15 @@ void MmeNode::overload_tick() {
   }
   fabric_.engine().after(cfg_.overload_check_interval,
                          [this] { overload_tick(); });
+}
+
+void MmeNode::export_metrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  reg.set_counter(prefix + ".devices_shed", devices_shed_);
+  reg.set_counter(prefix + ".transfers_received", transfers_received_);
+  reg.set(prefix + ".utilization", util_.utilization());
+  reg.set(prefix + ".contexts", static_cast<double>(app_.store().size()));
+  rel_.export_metrics(reg, prefix + ".transport");
 }
 
 }  // namespace scale::mme

@@ -12,12 +12,17 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "epc/fabric.h"
 #include "epc/reliable.h"
 #include "mme/mme_app.h"
 #include "sim/metrics.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
 
 namespace scale::mme {
 
@@ -61,6 +66,10 @@ class MmeNode : public epc::Endpoint {
 
   std::uint64_t devices_shed() const { return devices_shed_; }
   std::uint64_t transfers_received() const { return transfers_received_; }
+
+  /// Publish per-MME counters under `prefix` (e.g. "mme.1."). Read-only.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   bool admission_gate(NodeId enb, const proto::InitialUeMessage& msg,

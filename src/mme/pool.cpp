@@ -45,4 +45,10 @@ std::vector<NodeId> MmePool::paging_targets(proto::Tac tac) const {
   return out;
 }
 
+void MmePool::export_metrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  for (std::size_t i = 0; i < mmes_.size(); ++i)
+    mmes_[i]->export_metrics(reg, prefix + "." + std::to_string(i));
+}
+
 }  // namespace scale::mme

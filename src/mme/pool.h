@@ -45,6 +45,10 @@ class MmePool {
   /// mutual peers.
   void enable_overload_protection(double threshold);
 
+  /// Publish every member's counters under `prefix` + ".<index>.".
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+
  private:
   std::vector<NodeId> paging_targets(proto::Tac tac) const;
 

@@ -1,0 +1,50 @@
+// BenchMain — shared CLI harness for the figure benches.
+//
+// Every bench/fig*.cpp and bench/ablation_*.cpp constructs one of these at
+// the top of main():
+//
+//     obs::BenchMain bm(argc, argv, "fig10_simulation", "Fig. 10 — ...");
+//     auto& sec = bm.report().section("fig10(a) ...");
+//     ...
+//     return bm.finish();
+//
+// Flags (both optional):
+//   --json <path>    write the report as schema'd BENCH JSON
+//   --trace <path>   install a Tracer for the run and write Chrome
+//                    trace_event JSON (open in chrome://tracing / Perfetto)
+#pragma once
+
+#include <string>
+
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace scale::obs {
+
+class BenchMain {
+ public:
+  /// Parses argv; on --help prints usage and exits 0, on an unknown flag
+  /// prints usage to stderr and exits 2.
+  BenchMain(int argc, char** argv, std::string name, std::string title);
+  ~BenchMain();
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+
+  Report& report() { return report_; }
+  /// Non-null iff --trace was given (it is then also Tracer::current()).
+  Tracer* tracer() { return trace_path_.empty() ? nullptr : &tracer_; }
+
+  /// Detaches the tracer and writes the requested output files.
+  /// Returns the process exit code (non-zero on write failure).
+  [[nodiscard]] int finish();
+
+ private:
+  Report report_;
+  Tracer tracer_;
+  std::string json_path_;
+  std::string trace_path_;
+  Tracer* previous_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace scale::obs

@@ -39,4 +39,11 @@ const char* procedure_name(ProcedureType p) {
   return "?";
 }
 
+std::optional<ProcedureType> parse_procedure_name(std::string_view name) {
+  for (const ProcedureType p : kAllProcedures) {
+    if (name == procedure_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
 }  // namespace scale::proto

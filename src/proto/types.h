@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "proto/buffer.h"
 
@@ -96,6 +98,19 @@ enum class ProcedureType : std::uint8_t {
 };
 
 const char* procedure_name(ProcedureType p);
+
+/// Inverse of procedure_name ("attach" -> kAttach); npos-style nullopt for
+/// unknown names. Lets tools round-trip the typed enum through JSON/CLI
+/// without a parallel string table drifting out of sync.
+[[nodiscard]] std::optional<ProcedureType> parse_procedure_name(
+    std::string_view name);
+
+/// All procedure types, in enum order (for iteration in reports/tests).
+inline constexpr ProcedureType kAllProcedures[] = {
+    ProcedureType::kAttach,        ProcedureType::kServiceRequest,
+    ProcedureType::kTrackingAreaUpdate, ProcedureType::kPaging,
+    ProcedureType::kHandover,      ProcedureType::kDetach,
+};
 
 }  // namespace scale::proto
 

@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include "obs/registry.h"
+
 namespace scale::sim {
 
 EventId Engine::at(Time t, Action action) {
@@ -63,6 +65,17 @@ void Engine::run_until(Time t) {
     action();
   }
   now_ = t;
+}
+
+void Engine::export_metrics(obs::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.set_counter(prefix + ".events_processed", processed_);
+  reg.set_counter(prefix + ".events_scheduled", next_id_);
+  // cancelled_ may hold ids that already fired, so guard the subtraction.
+  const std::size_t pending =
+      queue_.size() > cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+  reg.set(prefix + ".queue_depth", static_cast<double>(pending));
+  reg.set(prefix + ".now_ms", now_.to_ms());
 }
 
 }  // namespace scale::sim

@@ -9,11 +9,16 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
 #include "common/time.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
 
 namespace scale::sim {
 
@@ -53,6 +58,11 @@ class Engine {
 
   std::uint64_t events_processed() const { return processed_; }
   std::uint64_t events_scheduled() const { return next_id_; }
+
+  /// Publish event-loop stats under `prefix` ("engine.events_processed",
+  /// "engine.now_ms", ...). Read-only: scheduling is not perturbed.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   struct Event {

@@ -3,11 +3,35 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/registry.h"
 #include "sim/engine.h"
 
 namespace scale::sim {
 
+// -------------------------------------------------------------- FaultCounters
+
+void FaultCounters::export_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  reg.set_counter(prefix + ".random_drops", random_drops);
+  reg.set_counter(prefix + ".link_down_drops", link_down_drops);
+  reg.set_counter(prefix + ".partition_drops", partition_drops);
+  reg.set_counter(prefix + ".duplicates", duplicates);
+  reg.set_counter(prefix + ".reorders", reorders);
+}
+
 // -------------------------------------------------------------- DelayRecorder
+
+void DelayRecorder::record(proto::ProcedureType p, Duration delay) {
+  record(std::string(proto::procedure_name(p)), delay);
+}
+
+bool DelayRecorder::has(proto::ProcedureType p) const {
+  return has(std::string(proto::procedure_name(p)));
+}
+
+const PercentileSampler& DelayRecorder::bucket(proto::ProcedureType p) const {
+  return bucket(std::string(proto::procedure_name(p)));
+}
 
 void DelayRecorder::record(const std::string& bucket, Duration delay) {
   auto [it, inserted] = buckets_.try_emplace(bucket, cap_);
@@ -46,6 +70,20 @@ std::uint64_t DelayRecorder::total_count() const {
 }
 
 void DelayRecorder::clear() { buckets_.clear(); }
+
+void DelayRecorder::export_metrics(obs::MetricsRegistry& reg,
+                                   const std::string& prefix) const {
+  for (const auto& [name, s] : buckets_) {
+    const std::string base =
+        prefix + ".delay_ms." + obs::metric_component(name);
+    reg.set_counter(base + ".count", s.count());
+    if (s.empty()) continue;
+    reg.set(base + ".mean", s.mean());
+    reg.set(base + ".p50", s.percentile(0.50));
+    reg.set(base + ".p95", s.percentile(0.95));
+    reg.set(base + ".p99", s.percentile(0.99));
+  }
+}
 
 // --------------------------------------------------------- UtilizationTracker
 
@@ -125,6 +163,17 @@ std::vector<std::string> CpuSampler::names() const {
   std::vector<std::string> names;
   for (const auto& [name, t] : tracked_) names.push_back(name);
   return names;
+}
+
+void CpuSampler::export_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  for (const auto& [name, t] : tracked_) {
+    const std::string base = prefix + ".cpu." + obs::metric_component(name);
+    reg.set_counter(base + ".samples", t.series.size());
+    if (t.series.empty()) continue;
+    reg.set(base + ".mean_util", t.series.mean_value());
+    reg.set(base + ".peak_util", t.series.max_value());
+  }
 }
 
 }  // namespace scale::sim

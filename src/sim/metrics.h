@@ -13,7 +13,12 @@
 
 #include "common/stats.h"
 #include "common/time.h"
+#include "proto/types.h"
 #include "sim/cpu.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
 
 namespace scale::sim {
 
@@ -35,6 +40,10 @@ struct FaultCounters {
   }
   void reset() { *this = FaultCounters{}; }
   bool operator==(const FaultCounters&) const = default;
+
+  /// Publish as counters under `prefix` ("net.faults.random_drops", ...).
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 };
 
 class DelayRecorder {
@@ -42,8 +51,15 @@ class DelayRecorder {
   /// cap > 0 reservoir-samples each bucket (0 keeps everything).
   explicit DelayRecorder(std::size_t cap = 0) : cap_(cap) {}
 
-  void record(const std::string& bucket, Duration delay);
+  /// Typed overloads — the standard control procedures. The enum maps onto
+  /// the same canonical bucket names procedure_name() yields, so typed and
+  /// string callers share buckets; prefer the enum (typos become compile
+  /// errors). The string overload remains for test-local ad-hoc buckets.
+  void record(proto::ProcedureType p, Duration delay);
+  bool has(proto::ProcedureType p) const;
+  const PercentileSampler& bucket(proto::ProcedureType p) const;
 
+  void record(const std::string& bucket, Duration delay);
   bool has(const std::string& bucket) const;
   const PercentileSampler& bucket(const std::string& bucket) const;
   /// Union of every bucket's samples.
@@ -51,6 +67,11 @@ class DelayRecorder {
   std::vector<std::string> buckets() const;
   std::uint64_t total_count() const;
   void clear();
+
+  /// Publish per-bucket count/mean/p50/p95/p99 gauges under
+  /// `prefix` + ".delay_ms.<bucket>.".
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   std::size_t cap_;
@@ -104,6 +125,11 @@ class CpuSampler {
   const TimeSeries& series(const std::string& name) const;
   bool has(const std::string& name) const;
   std::vector<std::string> names() const;
+
+  /// Publish per-CPU mean/peak utilization gauges under
+  /// `prefix` + ".cpu.<name>.".
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   void tick();

@@ -1,8 +1,21 @@
 #include "sim/network.h"
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace scale::sim {
+
+const char* fault_cause_name(FaultCause c) {
+  switch (c) {
+    case FaultCause::kNone: return "none";
+    case FaultCause::kRandomDrop: return "random_drop";
+    case FaultCause::kLinkDown: return "link_down";
+    case FaultCause::kPartition: return "partition";
+    case FaultCause::kDuplicate: return "duplicate";
+    case FaultCause::kReorder: return "reorder";
+  }
+  return "?";
+}
 
 namespace {
 // Keeps the fault stream decorrelated from the jitter stream when both are
@@ -160,6 +173,7 @@ FaultVerdict Network::fault_verdict(NodeId a, NodeId b, Time now) {
     if (it != link_down_.end() && window_active(it->second, now)) {
       ++fault_counters_.link_down_drops;
       v.deliver = false;
+      v.cause = FaultCause::kLinkDown;
       return v;
     }
   }
@@ -169,6 +183,7 @@ FaultVerdict Network::fault_verdict(NodeId a, NodeId b, Time now) {
     if (it != partitions_.end() && window_active(it->second, now)) {
       ++fault_counters_.partition_drops;
       v.deliver = false;
+      v.cause = FaultCause::kPartition;
       return v;
     }
   }
@@ -194,17 +209,27 @@ FaultVerdict Network::fault_verdict(NodeId a, NodeId b, Time now) {
   if (spec->drop_prob > 0.0 && fault_rng_.chance(spec->drop_prob)) {
     ++fault_counters_.random_drops;
     v.deliver = false;
+    v.cause = FaultCause::kRandomDrop;
     return v;
   }
   if (spec->dup_prob > 0.0 && fault_rng_.chance(spec->dup_prob)) {
     ++fault_counters_.duplicates;
     v.duplicate = true;
+    v.cause = FaultCause::kDuplicate;
   }
   if (spec->reorder_prob > 0.0 && fault_rng_.chance(spec->reorder_prob)) {
     ++fault_counters_.reorders;
     v.extra_delay = spec->reorder_window;
+    if (v.cause == FaultCause::kNone) v.cause = FaultCause::kReorder;
   }
   return v;
+}
+
+void Network::export_metrics(obs::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  reg.set_counter(prefix + ".messages", messages_);
+  reg.set_counter(prefix + ".bytes", bytes_);
+  fault_counters_.export_metrics(reg, prefix + ".faults");
 }
 
 }  // namespace scale::sim

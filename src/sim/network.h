@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +43,20 @@ struct LinkFaults {
   }
 };
 
+/// Why the FaultPlane dropped (or perturbed) a PDU — carried on the verdict
+/// so instrumentation (tracer annotations) can attribute the loss without
+/// re-deriving window state.
+enum class FaultCause : std::uint8_t {
+  kNone = 0,
+  kRandomDrop,
+  kLinkDown,
+  kPartition,
+  kDuplicate,
+  kReorder,
+};
+
+[[nodiscard]] const char* fault_cause_name(FaultCause c);
+
 /// Outcome of consulting the FaultPlane for one PDU on one link.
 struct FaultVerdict {
   bool deliver = true;
@@ -50,6 +65,8 @@ struct FaultVerdict {
   Duration extra_delay = Duration::zero();
   /// Multiplier on the configured latency (scripted latency spikes).
   double latency_factor = 1.0;
+  /// Dominant fault applied (drop causes win over duplicate/reorder).
+  FaultCause cause = FaultCause::kNone;
 };
 
 class Network {
@@ -125,6 +142,11 @@ class Network {
   FaultVerdict fault_verdict(NodeId a, NodeId b, Time now);
 
   const FaultCounters& fault_counters() const { return fault_counters_; }
+
+  /// Publish transfer + fault counters under `prefix` ("net.messages",
+  /// "net.faults.random_drops", ...). Read-only.
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
 
  private:
   struct TimedFault {

@@ -1,6 +1,8 @@
 #include "testbed/testbed.h"
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "proto/types.h"
 
 namespace scale::testbed {
@@ -65,9 +67,22 @@ epc::Ue& Testbed::make_ue(Site& site, std::size_t enb_index,
                                       ue_cfg);
   hss_->provision_subscriber(ue_cfg.imsi, ue_cfg.secret_key);
 
+  // Per-UE tracer lane for end-to-end procedure spans, disjoint from the
+  // fabric NodeId tracks the hop-level events use.
+  const std::uint64_t track = kUeTrackBase + ue_count_++;
+  const proto::Imsi imsi = ue_cfg.imsi;
+  if (obs::Tracer* tr = obs::Tracer::current())
+    tr->set_track_name(track, "ue." + std::to_string(imsi));
+
   ue->set_completion_sink(
-      [this](epc::Ue&, proto::ProcedureType p, Duration delay) {
-        delays_.record(proto::procedure_name(p), delay);
+      [this, track, imsi](epc::Ue&, proto::ProcedureType p, Duration delay) {
+        delays_.record(p, delay);
+        if (obs::Tracer* tr = obs::Tracer::current()) {
+          obs::Json args = obs::Json::object();
+          args.set("imsi", imsi);
+          tr->complete(track, proto::procedure_name(p),
+                       engine_.now() - delay, delay, std::move(args));
+        }
       });
   ue->set_failure_sink([this](epc::Ue& failed, proto::ProcedureType) {
     ++failures_;
@@ -126,6 +141,22 @@ double Testbed::p99_ms(const std::string& bucket) const {
 double Testbed::mean_ms(const std::string& bucket) const {
   if (!delays_.has(bucket)) return 0.0;
   return delays_.bucket(bucket).mean();
+}
+
+double Testbed::p99_ms(proto::ProcedureType p) const {
+  return p99_ms(std::string(proto::procedure_name(p)));
+}
+
+double Testbed::mean_ms(proto::ProcedureType p) const {
+  return mean_ms(std::string(proto::procedure_name(p)));
+}
+
+void Testbed::export_metrics(obs::MetricsRegistry& reg) const {
+  engine_.export_metrics(reg, "engine");
+  network_.export_metrics(reg, "network");
+  fabric_.export_metrics(reg, "fabric");
+  delays_.export_metrics(reg, "ue");
+  reg.set_counter("ue.failures", failures_);
 }
 
 }  // namespace scale::testbed

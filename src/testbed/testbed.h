@@ -22,7 +22,15 @@
 #include "sim/metrics.h"
 #include "sim/network.h"
 
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
+
 namespace scale::testbed {
+
+/// Synthetic tracer track range for per-UE procedure spans — keeps them
+/// clear of real fabric NodeIds (which start at 1 and stay small).
+inline constexpr std::uint64_t kUeTrackBase = 50'000;
 
 class Testbed {
  public:
@@ -97,8 +105,14 @@ class Testbed {
   /// Convenience percentile lookup (ms) for one procedure bucket.
   double p99_ms(const std::string& bucket) const;
   double mean_ms(const std::string& bucket) const;
+  double p99_ms(proto::ProcedureType p) const;
+  double mean_ms(proto::ProcedureType p) const;
 
   std::uint64_t failures() const { return failures_; }
+
+  /// Publish engine/network/fabric counters plus per-procedure UE delay
+  /// buckets into `reg` ("engine.*", "network.*", "fabric.*", "ue.*").
+  void export_metrics(obs::MetricsRegistry& reg) const;
 
  private:
   Config cfg_;
@@ -110,6 +124,7 @@ class Testbed {
   Rng rng_;
   std::vector<std::unique_ptr<Site>> sites_;
   proto::Imsi next_imsi_ = 100'000'000'000'000ull;
+  std::uint64_t ue_count_ = 0;
   std::uint64_t failures_ = 0;
 };
 

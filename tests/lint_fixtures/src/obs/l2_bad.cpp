@@ -1,0 +1,19 @@
+// L2 positive fixture: src/obs joined the determinism-critical set when the
+// observability layer landed (metric enumeration feeds byte-identical JSON).
+// Exactly 2 [L2] findings.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Exporter {
+  std::unordered_map<std::string, double> gauges_;
+  std::unordered_set<std::string> names_;
+
+  double total() const {
+    double s = 0.0;
+    for (const auto& [k, v] : gauges_) s += v;  // finding 1: range-for
+    return s;
+  }
+
+  std::string any_name() const { return *names_.begin(); }  // finding 2
+};

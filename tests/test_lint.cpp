@@ -48,7 +48,7 @@ TEST(ScaleLint, FixtureTreeYieldsExactPerRuleCounts) {
   const LintRun r = run_lint(kFixtures + " src bench");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_EQ(r.count("[L1]"), 6u) << r.output;
-  EXPECT_EQ(r.count("[L2]"), 2u) << r.output;
+  EXPECT_EQ(r.count("[L2]"), 4u) << r.output;
   EXPECT_EQ(r.count("[L3]"), 3u) << r.output;
   EXPECT_EQ(r.count("[L4]"), 3u) << r.output;
 }
@@ -57,6 +57,7 @@ TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
   const LintRun r = run_lint(kFixtures + " src bench");
   EXPECT_EQ(r.count("src/sim/l1_bad.cpp"), 6u) << r.output;
   EXPECT_EQ(r.count("src/sim/l2_bad.cpp"), 2u) << r.output;
+  EXPECT_EQ(r.count("src/obs/l2_bad.cpp"), 2u) << r.output;
   EXPECT_EQ(r.count("src/proto/l3_bad.h"), 3u) << r.output;
   EXPECT_EQ(r.count("src/mme/l4_bad.cpp"), 3u) << r.output;
 }

@@ -21,6 +21,15 @@ TEST(OnlineStats, MeanVarianceMinMax) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(OnlineStats, EmptyMinMaxAreNaN) {
+  OnlineStats s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
 TEST(OnlineStats, MergeEqualsSingleStream) {
   OnlineStats a, b, all;
   for (int i = 0; i < 50; ++i) {

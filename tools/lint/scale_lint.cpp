@@ -18,8 +18,8 @@
 //       gettimeofday, chrono system/steady/high_resolution clocks) outside
 //       src/common/time.h, std::random_device, default-seeded std::mt19937.
 //   L2  range-for / .begin() iteration over std::unordered_{map,set} in the
-//       determinism-critical dirs (src/sim, src/core, src/epc, src/mme)
-//       unless the line (or the line above) carries
+//       determinism-critical dirs (src/sim, src/core, src/epc, src/mme,
+//       src/obs) unless the line (or the line above) carries
 //       `// lint: order-independent`.
 //   L3  every decode*/parse*/try_* declaration in src/proto and
 //       src/epc/reliable.* must be [[nodiscard]] — dropped decode results
@@ -220,7 +220,8 @@ bool starts_with(const std::string& s, const char* prefix) {
 
 bool in_l2_scope(const std::string& rel) {
   return starts_with(rel, "src/sim/") || starts_with(rel, "src/core/") ||
-         starts_with(rel, "src/epc/") || starts_with(rel, "src/mme/");
+         starts_with(rel, "src/epc/") || starts_with(rel, "src/mme/") ||
+         starts_with(rel, "src/obs/");
 }
 
 bool in_l3_scope(const std::string& rel) {

@@ -1,0 +1,48 @@
+// bench_json_check — validate BENCH JSON documents against the
+// "scale-bench-v1" schema (obs::validate_bench_json, the same routine the
+// unit tests use). tier1.sh runs one bench with --json and pipes the result
+// through this tool, so a schema regression fails the build gate, not a
+// downstream plotting script.
+//
+// usage: bench_json_check <file.json>...
+// Exit: 0 all valid, 1 any invalid, 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
+    return 2;
+  }
+  int code = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    const auto doc = scale::obs::Json::parse(buf.str(), &error);
+    if (!doc.has_value()) {
+      std::fprintf(stderr, "%s: parse error: %s\n", argv[i], error.c_str());
+      code = 1;
+      continue;
+    }
+    const auto problems = scale::obs::validate_bench_json(*doc);
+    for (const auto& p : problems)
+      std::fprintf(stderr, "%s: %s\n", argv[i], p.c_str());
+    if (!problems.empty())
+      code = 1;
+    else
+      std::printf("%s: OK (%s)\n", argv[i],
+                  doc->find("bench")->as_string().c_str());
+  }
+  return code;
+}
