@@ -1,0 +1,309 @@
+// perf_core — deterministic microbench of the simulator hot path: the event
+// engine (schedule / fire / cancel), the PDU codecs, and a fabric hop, each
+// reported as throughput (events/s, PDUs/s, bytes/s) *and* as an exact heap
+// allocation count from an interposing counting allocator.
+//
+// The allocation counters are the perf trajectory's regression gate: they are
+// a pure function of the (seeded, deterministic) workload and the toolchain,
+// so tier1.sh can hard-fail when a change re-introduces per-event heap
+// traffic — without the flakiness of comparing wall times in CI. Wall-clock
+// numbers are reported for humans and for the BENCH_core.json trajectory,
+// but never gated on.
+//
+// scripts/bench_baseline.sh runs this with --json to (re)write the committed
+// BENCH_core.json at the repo root; see EXPERIMENTS.md ("perf_core").
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/time.h"
+#include "epc/fabric.h"
+#include "obs/bench_main.h"
+#include "proto/buffer_pool.h"
+#include "proto/codec.h"
+#include "sim/cpu.h"
+#include "sim/engine.h"
+#include "sim/network.h"
+
+// ------------------------------------------------------------------------
+// Counting allocator interposer: every global new/delete in this binary is
+// tallied. Relaxed atomics keep it valid even if a future bench goes
+// multi-threaded; in today's single-threaded runs they cost nothing.
+namespace {
+std::atomic<std::uint64_t> g_alloc_calls{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(al),
+                               (n + static_cast<std::size_t>(al) - 1) &
+                                   ~(static_cast<std::size_t>(al) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace scale;
+
+/// One measured phase: ops + wall time + allocator delta.
+struct PhaseResult {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;  ///< payload bytes (codec phases), else 0
+  std::int64_t wall_ns = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_bytes = 0;
+
+  double mops_per_sec() const {
+    return wall_ns > 0 ? static_cast<double>(ops) * 1e3 /
+                             static_cast<double>(wall_ns)
+                       : 0.0;
+  }
+  double mb_per_sec() const {
+    return wall_ns > 0 ? static_cast<double>(bytes) * 1e3 /
+                             static_cast<double>(wall_ns)
+                       : 0.0;
+  }
+  double allocs_per_op() const {
+    return ops > 0 ? static_cast<double>(allocs) / static_cast<double>(ops)
+                   : 0.0;
+  }
+};
+
+template <typename Fn>
+PhaseResult run_phase(Fn&& body) {
+  PhaseResult r;
+  const std::uint64_t a0 = g_alloc_calls.load(std::memory_order_relaxed);
+  const std::uint64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  const std::int64_t t0 = wall_clock_ns();
+  body(r);
+  r.wall_ns = wall_clock_ns() - t0;
+  r.allocs = g_alloc_calls.load(std::memory_order_relaxed) - a0;
+  r.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - b0;
+  return r;
+}
+
+// ---------------------------------------------------------------- workloads
+
+/// Self-rescheduling timer lane: the dominant event shape in the simulator
+/// (retransmit timers, inactivity timers, CPU completions). Capture is small
+/// on purpose — it must ride the engine's inline action storage.
+void tick(sim::Engine& eng, std::uint64_t& fired, std::uint64_t budget,
+          std::uint32_t lane) {
+  ++fired;
+  if (fired >= budget) return;
+  const std::int64_t delay =
+      1 + static_cast<std::int64_t>((lane * 7u + fired % 13u) % 97u);
+  eng.after(Duration::us(delay),
+            [&eng, &fired, budget, lane] { tick(eng, fired, budget, lane); });
+}
+
+PhaseResult phase_engine_timer_ring() {
+  return run_phase([](PhaseResult& r) {
+    sim::Engine eng;
+    std::uint64_t fired = 0;
+    constexpr std::uint64_t kBudget = 2'000'000;
+    constexpr std::uint32_t kLanes = 512;
+    for (std::uint32_t lane = 0; lane < kLanes; ++lane)
+      eng.after(Duration::us(1 + lane % 29),
+                [&eng, &fired, lane] { tick(eng, fired, kBudget, lane); });
+    eng.run();
+    r.ops = eng.events_processed();
+  });
+}
+
+PhaseResult phase_engine_cancel_churn() {
+  return run_phase([](PhaseResult& r) {
+    sim::Engine eng;
+    constexpr std::uint64_t kRounds = 500'000;
+    std::uint64_t guard_fired = 0;
+    std::uint64_t cancelled = 0;
+    for (std::uint64_t i = 0; i < kRounds; ++i) {
+      // The guard-timer idiom: arm a deadline, then the "response" arrives
+      // first and cancels it — the hottest cancel() shape in the tree.
+      const sim::EventId guard =
+          eng.after(Duration::us(5), [&guard_fired] { ++guard_fired; });
+      eng.after(Duration::us(1), [&eng, &cancelled, guard] {
+        if (eng.cancel(guard)) ++cancelled;
+      });
+      eng.run();
+    }
+    r.ops = kRounds * 2;  // schedules per round (one fires, one cancels)
+    if (cancelled != kRounds) r.ops = 0;  // impossible; poisons the report
+  });
+}
+
+proto::Pdu attach_pdu() {
+  proto::NasAttachRequest nas;
+  nas.imsi = 123456789012345ull;
+  nas.old_guti = proto::Guti{310, 17, 3, 0xBEEF01};
+  nas.tac = 7;
+  return proto::make_pdu(
+      proto::InitialUeMessage{9, 8, 7, proto::NasMessage{nas}});
+}
+
+proto::Pdu transfer_pdu() {
+  proto::UeContextRecord rec;
+  rec.imsi = 987654321012345ull;
+  rec.guti = proto::Guti{310, 17, 3, 0xC0FFEE};
+  rec.active = true;
+  rec.version = 12;
+  return proto::make_pdu(proto::StateTransfer{rec});
+}
+
+PhaseResult phase_codec_encode() {
+  return run_phase([](PhaseResult& r) {
+    const proto::Pdu a = attach_pdu();
+    const proto::Pdu b = transfer_pdu();
+    constexpr std::uint64_t kIters = 400'000;
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      proto::PooledBuffer buf = proto::encode_pdu_pooled(i % 2 == 0 ? a : b);
+      bytes += buf->size();
+    }
+    r.ops = kIters;
+    r.bytes = bytes;
+  });
+}
+
+PhaseResult phase_codec_decode() {
+  return run_phase([](PhaseResult& r) {
+    const std::vector<std::uint8_t> a = proto::encode_pdu(attach_pdu());
+    const std::vector<std::uint8_t> b = proto::encode_pdu(transfer_pdu());
+    constexpr std::uint64_t kIters = 200'000;
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      const proto::Pdu pdu = proto::decode_pdu(i % 2 == 0 ? a : b);
+      bytes += proto::wire_size(pdu);
+    }
+    r.ops = kIters;
+    r.bytes = bytes;
+  });
+}
+
+/// Ping-pong endpoint: every received PDU is sent straight back until the
+/// hop budget is spent — the eNB→MLB→MMP delivery machinery (wire-size
+/// accounting, fault check, engine event per hop) without protocol logic.
+struct EchoEndpoint final : epc::Endpoint {
+  epc::Fabric& fabric;
+  sim::NodeId self = 0;
+  sim::NodeId peer = 0;
+  std::uint64_t* remaining = nullptr;
+
+  explicit EchoEndpoint(epc::Fabric& f) : fabric(f) {}
+  void receive(sim::NodeId, const proto::Pdu& pdu) override {
+    if (*remaining == 0) return;
+    --*remaining;
+    fabric.send(self, peer, pdu);
+  }
+};
+
+PhaseResult phase_fabric_hop() {
+  return run_phase([](PhaseResult& r) {
+    sim::Engine eng;
+    sim::Network net;
+    epc::Fabric fabric(eng, net);
+    std::uint64_t remaining = 300'000;
+    EchoEndpoint a(fabric);
+    EchoEndpoint b(fabric);
+    a.self = fabric.add_endpoint(&a);
+    b.self = fabric.add_endpoint(&b);
+    a.peer = b.self;
+    b.peer = a.self;
+    a.remaining = &remaining;
+    b.remaining = &remaining;
+    fabric.send(a.self, b.self, attach_pdu());
+    eng.run();
+    r.ops = net.messages_sent();
+    r.bytes = net.bytes_sent();
+  });
+}
+
+PhaseResult phase_buffer_pool() {
+  return run_phase([](PhaseResult& r) {
+    constexpr std::uint64_t kIters = 1'000'000;
+    std::uint64_t bytes = 0;
+    for (std::uint64_t i = 0; i < kIters; ++i) {
+      proto::PooledBuffer buf =
+          proto::BufferPool::local().acquire(proto::kPduReserveBytes);
+      buf->push_back(static_cast<std::uint8_t>(i & 0xFF));
+      bytes += buf->capacity();
+    }
+    r.ops = kIters;
+    r.bytes = bytes;
+  });
+}
+
+struct NamedPhase {
+  const char* name;
+  PhaseResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchMain bm(argc, argv, "perf_core",
+                    "perf_core — engine/codec/fabric hot-path microbench");
+
+  // Warm the per-thread pools once so the measured phases see steady state —
+  // the regime every long simulation runs in after its first few events.
+  { auto warm = phase_buffer_pool(); (void)warm; }
+
+  const NamedPhase phases[] = {
+      {"engine_timer_ring", phase_engine_timer_ring()},
+      {"engine_cancel_churn", phase_engine_cancel_churn()},
+      {"codec_encode", phase_codec_encode()},
+      {"codec_decode", phase_codec_decode()},
+      {"fabric_hop", phase_fabric_hop()},
+      {"buffer_pool", phase_buffer_pool()},
+  };
+
+  auto& thr = bm.report().section("throughput");
+  thr.columns({"ops", "wall_ms", "Mops_per_s", "MB_per_s"});
+  for (const auto& [name, r] : phases)
+    thr.row(name, {static_cast<double>(r.ops),
+                   static_cast<double>(r.wall_ns) / 1e6, r.mops_per_sec(),
+                   r.mb_per_sec()});
+
+  auto& alloc = bm.report().section("allocations");
+  alloc.columns({"allocs", "alloc_bytes", "ops", "allocs_per_op"});
+  for (const auto& [name, r] : phases)
+    alloc.row(name, {static_cast<double>(r.allocs),
+                     static_cast<double>(r.alloc_bytes),
+                     static_cast<double>(r.ops), r.allocs_per_op()});
+
+  bm.report().note(
+      "allocs are deterministic for a given toolchain and are the CI "
+      "regression gate (tier1.sh); wall times are informational only");
+
+  return bm.finish();
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Refresh the committed perf baseline (BENCH_core.json at the repo root).
+#
+# Run this ONLY when a PR intentionally changes hot-path allocation behavior;
+# tier1.sh compares every fresh perf_core run against this file and fails on
+# any phase that allocates more than the baseline says. Wall-time columns in
+# the snapshot are informational (machine-dependent) — the allocation
+# counters are the contract, and those are deterministic.
+#
+# usage: scripts/bench_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+
+cmake -B "${BUILD}" -S . >/dev/null
+cmake --build "${BUILD}" -j"$(nproc)" --target perf_core bench_json_check
+
+"${BUILD}/bench/perf_core" --json BENCH_core.json >/dev/null
+"${BUILD}/tools/obs/bench_json_check" BENCH_core.json
+
+echo "bench_baseline: wrote BENCH_core.json — commit it with the PR that"
+echo "bench_baseline: changed the numbers."

@@ -22,9 +22,18 @@ scripts/lint.sh build
 build/bench/fig6_analysis --json build/BENCH_fig6_analysis.json >/dev/null
 build/tools/obs/bench_json_check build/BENCH_fig6_analysis.json
 
+# Perf-smoke leg (DESIGN.md §8): run the hot-path microbench and diff its
+# allocation counters against the committed baseline. Alloc counts — not
+# wall times — are the gate: they are deterministic, so "someone put a heap
+# allocation back on the event path" fails tier-1 on any machine.
+build/bench/perf_core --json build/BENCH_core_now.json >/dev/null
+build/tools/obs/bench_json_check build/BENCH_core_now.json
+build/tools/obs/bench_json_check --compare-allocs BENCH_core.json \
+  build/BENCH_core_now.json
+
 cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"${JOBS}" --target scale_tests
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs')
+  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs|Engine|BufferPool|BoxAlloc')
 
 echo "tier-1: OK"

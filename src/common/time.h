@@ -5,6 +5,7 @@
 // ordered so it can key the event queue.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <compare>
 #include <string>
@@ -110,6 +111,17 @@ inline std::string Duration::str() const {
 
 inline std::string Time::str() const {
   return std::to_string(to_sec()) + "s";
+}
+
+/// Monotonic wall-clock read in nanoseconds, for *measuring* the simulator
+/// (events/s in bench/perf_core.cpp), never for driving it. This is the one
+/// sanctioned real-clock bridge (ScaleLint L1 exempts this file): simulation
+/// code must use sim::Engine::now(), so wall time can never leak into a
+/// trajectory.
+inline std::int64_t wall_clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 namespace literals {

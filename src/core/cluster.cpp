@@ -96,6 +96,7 @@ MmpNode& ScaleCluster::add_mmp() {
   ref.attach_lb(mlbs_[mmps_.size() % mlbs_.size()]->node());
   ref.set_paging_enbs([this](proto::Tac tac) {
     std::vector<sim::NodeId> out;
+    out.reserve(enbs_.size());
     for (const epc::EnodeB* enb : enbs_)
       if (enb->tac() == tac) out.push_back(enb->node());
     return out;

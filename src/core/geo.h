@@ -78,10 +78,10 @@ class GeoManager {
   /// Probe for the local cluster's mean CPU utilization. Ŝm "tracks the
   /// average processing load" (§4.5.2 DC-level (iv)): the advertised
   /// budget shrinks to zero as the DC approaches `load_ceiling`.
-  void set_cluster_load_probe(std::function<double()> probe) {
+  void set_cluster_load_probe(std::function<double()>&& probe) {
     load_probe_ = std::move(probe);
   }
-  void set_cluster_backlog_probe(std::function<double()> probe) {
+  void set_cluster_backlog_probe(std::function<double()>&& probe) {
     backlog_probe_ = std::move(probe);
   }
   void set_load_ceiling(double ceiling) { load_ceiling_ = ceiling; }

@@ -103,6 +103,7 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   // replica can neither geo-offload nor shed it back (ping-pong guard).
   const auto prefs = ring_.preference_list(rej.guti.key(), cfg_.choices);
   std::vector<hash::RingNodeId> alternatives;
+  alternatives.reserve(prefs.size());
   for (const hash::RingNodeId c : prefs)
     if (c != rej.mmp_node) alternatives.push_back(c);
   const NodeId target =

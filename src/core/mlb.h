@@ -68,7 +68,7 @@ class Mlb : public Endpoint {
   /// Sink for geo-protocol messages the MLB proxies to the DC controller
   /// (budget gossip, evict requests).
   void set_geo_sink(
-      std::function<void(NodeId from, const proto::ClusterMessage&)> sink) {
+      std::function<void(NodeId from, const proto::ClusterMessage&)>&& sink) {
     geo_sink_ = std::move(sink);
   }
 

@@ -83,22 +83,29 @@ void Fabric::send(NodeId from, NodeId to, proto::Pdu pdu) {
 
 void Fabric::deliver(NodeId from, NodeId to, proto::Pdu pdu,
                      Duration latency) {
-  engine_.after(latency, [this, from, to, p = std::move(pdu)]() {
+  // Box the in-flight PDU (a recycled BoxAlloc block, not a fresh heap
+  // allocation) so the timer captures a 16-byte ref instead of the whole
+  // ~120-byte variant — the difference between riding InlineAction's inline
+  // storage and spilling every hop to the fallback block pool.
+  auto fn = [this, from, to, p = proto::box(std::move(pdu))]() {
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       ++dropped_;
-      SCALE_DEBUG("dropped " << proto::pdu_name(p) << " to departed node "
-                             << to);
+      SCALE_DEBUG("dropped " << proto::pdu_name(p->value)
+                             << " to departed node " << to);
       if (obs::Tracer* tr = obs::Tracer::current()) {
         obs::Json args = obs::Json::object();
         args.set("from", from);
-        args.set("pdu", proto::pdu_name(p));
+        args.set("pdu", proto::pdu_name(p->value));
         tr->instant(to, "dead_endpoint", engine_.now(), std::move(args));
       }
       return;
     }
-    it->second->receive(from, p);
-  });
+    it->second->receive(from, p->value);
+  };
+  static_assert(sim::InlineAction::fits_inline<decltype(fn)>,
+                "fabric hop capture must stay within the inline budget");
+  engine_.after(latency, std::move(fn));
 }
 
 void Fabric::reset_counters() {

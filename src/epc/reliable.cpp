@@ -37,7 +37,10 @@ void ReliableChannel::transmit(NodeId to, std::uint64_t seq,
 void ReliableChannel::arm_timer(NodeId to, std::uint64_t seq, Duration rto) {
   // No cancellation: the timer fires and finds the entry gone when the ack
   // beat it — cheaper than tracking EventIds per segment.
-  fabric_.engine().after(rto, [this, to, seq]() { on_timeout(to, seq); });
+  auto fn = [this, to, seq]() { on_timeout(to, seq); };
+  static_assert(sim::InlineAction::fits_inline<decltype(fn)>,
+                "retransmit timer capture must stay within the inline budget");
+  fabric_.engine().after(rto, std::move(fn));
 }
 
 void ReliableChannel::on_timeout(NodeId to, std::uint64_t seq) {

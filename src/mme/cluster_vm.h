@@ -48,7 +48,7 @@ class ClusterVm : public epc::Endpoint {
   NodeId lb() const { return lb_; }
 
   /// eNodeB set per tracking area (paging fan-out).
-  void set_paging_enbs(std::function<std::vector<NodeId>(proto::Tac)> fn) {
+  void set_paging_enbs(std::function<std::vector<NodeId>(proto::Tac)>&& fn) {
     paging_fn_ = std::move(fn);
   }
 

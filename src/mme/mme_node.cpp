@@ -77,7 +77,7 @@ void MmeNode::configure_overload(bool on, double threshold) {
 }
 
 void MmeNode::set_paging_enbs(
-    std::function<std::vector<NodeId>(proto::Tac)> fn) {
+    std::function<std::vector<NodeId>(proto::Tac)>&& fn) {
   // MmeAppHooks are wired at construction; route through a member so the
   // hook stays valid.
   paging_fn_storage_ = std::move(fn);

@@ -60,7 +60,7 @@ class MmeNode : public epc::Endpoint {
   void configure_overload(bool on, double threshold);
 
   /// Provide the eNodeB set per tracking area (paging fan-out).
-  void set_paging_enbs(std::function<std::vector<NodeId>(proto::Tac)> fn);
+  void set_paging_enbs(std::function<std::vector<NodeId>(proto::Tac)>&& fn);
 
   void receive(NodeId from, const proto::Pdu& pdu) override;
 

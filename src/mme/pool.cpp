@@ -40,6 +40,7 @@ void MmePool::enable_overload_protection(double threshold) {
 
 std::vector<NodeId> MmePool::paging_targets(proto::Tac tac) const {
   std::vector<NodeId> out;
+  out.reserve(enbs_.size());
   for (const epc::EnodeB* enb : enbs_)
     if (enb->tac() == tac) out.push_back(enb->node());
   return out;

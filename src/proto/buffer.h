@@ -23,6 +23,14 @@ class CodecError : public std::runtime_error {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  /// Adopt existing storage (cleared, capacity kept) so pooled buffers can
+  /// be encoded into without a fresh allocation; reclaim it with take().
+  explicit ByteWriter(std::vector<std::uint8_t> storage)
+      : out_(std::move(storage)) {
+    out_.clear();
+  }
+
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

@@ -1,0 +1,193 @@
+// BufferPool — free-list recycling for the PDU byte buffers and PduBox
+// heap blocks on the simulator hot path.
+//
+// Every fabric send encodes the PDU once for byte accounting, and every
+// envelope hop (MLB forward, MMP reply, reliability-shim segment) boxes a
+// Pdu behind a shared_ptr. Unpooled, that is two-plus heap allocations per
+// simulated message — at the million-procedure scales of Figs. 7-11 the
+// allocator dominates the profile. The pools below recycle both:
+//
+//   * BufferPool: capacity-preserving std::vector<uint8_t> free list. A
+//     recycled buffer keeps its high-water capacity, so steady-state encode
+//     never reallocates (acquire() additionally pre-reserves the caller's
+//     upper-bound hint, kPduReserveBytes for top-level PDUs).
+//   * BoxAlloc<T>: a fixed-size block free list plugged into
+//     std::allocate_shared, so proto::box() reuses one combined
+//     control-block+PduBox allocation instead of hitting the heap twice.
+//
+// Both pools are thread_local: the simulator is single-threaded per engine,
+// and per-thread free lists keep the TSan leg and any future parallel-MMP
+// work race-free with zero locking. Recycling is LIFO; nothing observable
+// depends on block identity, so determinism is unaffected (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace scale::proto {
+
+/// Capacity hint covering every fixed-layout top-level PDU (the largest, a
+/// StateTransfer carrying a full UeContextRecord, encodes to ~83 bytes; see
+/// tests/test_buffer_pool.cpp which pins this bound against the codecs).
+/// Variable-length PDUs (RingUpdate, nested envelopes) may exceed it; the
+/// recycled buffer then keeps the larger capacity for its next user.
+inline constexpr std::size_t kPduReserveBytes = 192;
+
+class BufferPool {
+ public:
+  /// RAII lease on a pooled buffer: dereferences to the vector, returns the
+  /// storage (capacity intact) to the pool on destruction. Detachable via
+  /// take() when the bytes must outlive the lease.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(BufferPool* pool, std::vector<std::uint8_t> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+    Handle(Handle&& o) noexcept
+        : pool_(std::exchange(o.pool_, nullptr)), buf_(std::move(o.buf_)) {}
+    Handle& operator=(Handle&& o) noexcept {
+      if (this != &o) {
+        give_back();
+        pool_ = std::exchange(o.pool_, nullptr);
+        buf_ = std::move(o.buf_);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { give_back(); }
+
+    std::vector<std::uint8_t>& operator*() { return buf_; }
+    const std::vector<std::uint8_t>& operator*() const { return buf_; }
+    std::vector<std::uint8_t>* operator->() { return &buf_; }
+    const std::vector<std::uint8_t>* operator->() const { return &buf_; }
+
+    /// Detach the bytes from the pool (the buffer will not be recycled).
+    std::vector<std::uint8_t> take() {
+      pool_ = nullptr;
+      return std::move(buf_);
+    }
+
+   private:
+    void give_back() {
+      if (pool_ != nullptr) pool_->release(std::move(buf_));
+      pool_ = nullptr;
+    }
+
+    BufferPool* pool_ = nullptr;
+    std::vector<std::uint8_t> buf_;
+  };
+
+  explicit BufferPool(std::size_t max_idle = 64) : max_idle_(max_idle) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// An empty buffer with capacity >= reserve_hint. Reuses the most
+  /// recently released buffer when one is idle (LIFO keeps caches warm).
+  Handle acquire(std::size_t reserve_hint) {
+    std::vector<std::uint8_t> buf;
+    if (!idle_.empty()) {
+      buf = std::move(idle_.back());
+      idle_.pop_back();
+      buf.clear();
+      ++reuses_;
+    } else {
+      ++misses_;
+    }
+    if (buf.capacity() < reserve_hint) buf.reserve(reserve_hint);
+    return Handle(this, std::move(buf));
+  }
+
+  /// Return storage to the pool; beyond max_idle the buffer is freed (a
+  /// bound, not a leak, under transient fan-out bursts).
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (idle_.size() < max_idle_ && buf.capacity() > 0)
+      idle_.push_back(std::move(buf));
+  }
+
+  std::size_t idle_count() const { return idle_.size(); }
+  std::uint64_t reuses() const { return reuses_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// The per-thread pool every codec/fabric hot path shares.
+  static BufferPool& local() {
+    static thread_local BufferPool pool;
+    return pool;
+  }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> idle_;
+  std::size_t max_idle_;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+using PooledBuffer = BufferPool::Handle;
+
+namespace detail {
+
+/// Per-type, per-thread fixed-block cache (blocks of exactly sizeof(T)).
+/// Parked blocks are real heap allocations, so the destructor returns them
+/// at thread exit — otherwise every cached block is a leak report under the
+/// ASan tier-1 leg.
+template <typename T>
+struct BlockCache {
+  std::vector<void*> blocks;
+  ~BlockCache() {
+    for (void* p : blocks) std::allocator<T>{}.deallocate(static_cast<T*>(p), 1);
+  }
+};
+
+template <typename T>
+inline std::vector<void*>& block_freelist() {
+  static thread_local BlockCache<T> cache;
+  return cache.blocks;
+}
+
+inline constexpr std::size_t kMaxIdleBlocks = 4096;
+
+}  // namespace detail
+
+/// Allocator handed to std::allocate_shared by proto::box(): single-object
+/// allocations come from (and return to) a per-thread free list, so the
+/// steady-state cost of boxing a Pdu is a pop + placement-construct.
+template <typename T>
+struct BoxAlloc {
+  using value_type = T;
+
+  BoxAlloc() = default;
+  template <typename U>
+  BoxAlloc(const BoxAlloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n == 1) {
+      auto& cache = detail::block_freelist<T>();
+      if (!cache.empty()) {
+        void* p = cache.back();
+        cache.pop_back();
+        return static_cast<T*>(p);
+      }
+    }
+    return std::allocator<T>{}.allocate(n);
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1) {
+      auto& cache = detail::block_freelist<T>();
+      if (cache.size() < detail::kMaxIdleBlocks) {
+        cache.push_back(p);
+        return;
+      }
+    }
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  template <typename U>
+  bool operator==(const BoxAlloc<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace scale::proto

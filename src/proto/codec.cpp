@@ -11,8 +11,7 @@ enum class PduFamily : std::uint8_t {
 };
 }  // namespace
 
-std::vector<std::uint8_t> encode_pdu(const Pdu& pdu) {
-  ByteWriter w;
+void encode_pdu_into(const Pdu& pdu, ByteWriter& w) {
   std::visit(
       [&w](const auto& family) {
         using T = std::decay_t<decltype(family)>;
@@ -31,7 +30,20 @@ std::vector<std::uint8_t> encode_pdu(const Pdu& pdu) {
         }
       },
       pdu);
+}
+
+std::vector<std::uint8_t> encode_pdu(const Pdu& pdu) {
+  ByteWriter w;
+  encode_pdu_into(pdu, w);
   return w.take();
+}
+
+PooledBuffer encode_pdu_pooled(const Pdu& pdu) {
+  PooledBuffer buf = BufferPool::local().acquire(kPduReserveBytes);
+  ByteWriter w(std::move(*buf));
+  encode_pdu_into(pdu, w);
+  *buf = w.take();
+  return buf;
 }
 
 Pdu decode_pdu(std::span<const std::uint8_t> bytes) {
@@ -51,7 +63,7 @@ Pdu decode_pdu(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-std::size_t wire_size(const Pdu& pdu) { return encode_pdu(pdu).size(); }
+std::size_t wire_size(const Pdu& pdu) { return encode_pdu_pooled(pdu)->size(); }
 
 const char* pdu_name(const Pdu& pdu) {
   return std::visit(

@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "proto/buffer.h"
+#include "proto/buffer_pool.h"
 #include "proto/pdu.h"
 
 namespace scale::proto {
@@ -17,8 +19,16 @@ namespace scale::proto {
 std::vector<std::uint8_t> encode_pdu(const Pdu& pdu);
 [[nodiscard]] Pdu decode_pdu(std::span<const std::uint8_t> bytes);
 
-/// Encoded size in bytes (computed by encoding; cached nowhere — callers on
-/// hot paths should reuse one encode).
+/// Encode into an existing writer (family tag + body); the primitive the
+/// allocating and pooled entry points share.
+void encode_pdu_into(const Pdu& pdu, ByteWriter& w);
+
+/// Encode into a buffer leased from BufferPool::local(): zero allocations in
+/// steady state. The handle recycles the storage when it goes out of scope.
+PooledBuffer encode_pdu_pooled(const Pdu& pdu);
+
+/// Encoded size in bytes. Encodes into a pooled scratch buffer, so the
+/// steady-state cost is the encode itself, not an allocation.
 std::size_t wire_size(const Pdu& pdu);
 
 }  // namespace scale::proto

@@ -5,6 +5,7 @@
 #include <memory>
 #include <variant>
 
+#include "proto/buffer_pool.h"
 #include "proto/cluster.h"
 #include "proto/s11.h"
 #include "proto/s1ap.h"
@@ -21,7 +22,10 @@ struct PduBox {
 };
 
 inline PduRef box(Pdu pdu) {
-  return std::make_shared<const PduBox>(PduBox{std::move(pdu)});
+  // allocate_shared with the free-list allocator: one recycled block carries
+  // both the control block and the PduBox (see buffer_pool.h).
+  return std::allocate_shared<const PduBox>(BoxAlloc<const PduBox>{},
+                                            PduBox{std::move(pdu)});
 }
 
 /// Convenience constructors that collapse the two-level variant.

@@ -12,20 +12,15 @@ CpuModel::CpuModel(Engine& engine, double speed_factor)
   SCALE_CHECK(speed_factor > 0.0);
 }
 
-void CpuModel::execute(Duration work, std::function<void()> on_done) {
+Time CpuModel::enqueue(Duration work) {
   SCALE_CHECK(work >= Duration::zero());
   const Duration scaled = work * (1.0 / speed_);
   const Time start = std::max(engine_.now(), busy_until_);
   busy_until_ = start + scaled;
   total_assigned_ += scaled;
   ++submitted_;
-  engine_.at(busy_until_, [this, cb = std::move(on_done)]() {
-    ++completed_;
-    if (cb) cb();
-  });
+  return busy_until_;
 }
-
-void CpuModel::consume(Duration work) { execute(work, nullptr); }
 
 Duration CpuModel::backlog() const {
   const Time now = engine_.now();

@@ -8,13 +8,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
+#include <utility>
 
 #include "common/time.h"
+#include "sim/engine.h"
 
 namespace scale::sim {
-
-class Engine;
 
 class CpuModel {
  public:
@@ -26,12 +26,25 @@ class CpuModel {
   CpuModel& operator=(const CpuModel&) = delete;
 
   /// Enqueue `work` of CPU time; `on_done` fires when it completes (FIFO
-  /// behind everything already queued).
-  void execute(Duration work, std::function<void()> on_done);
+  /// behind everything already queued). Takes any void() callable by
+  /// forwarding reference — the old by-value std::function signature boxed
+  /// every completion lambda on the busiest path in the tree (ScaleLint L5).
+  template <typename F>
+  void execute(Duration work, F&& on_done) {
+    const Time done_at = enqueue(work);
+    if constexpr (std::is_null_pointer_v<std::decay_t<F>>) {
+      engine_.at(done_at, [this] { ++completed_; });
+    } else {
+      engine_.at(done_at, [this, cb = std::forward<F>(on_done)]() mutable {
+        ++completed_;
+        cb();
+      });
+    }
+  }
 
   /// Enqueue work with no completion callback (pure overhead, e.g. the CPU
   /// cost of reassignment signaling on a peer).
-  void consume(Duration work);
+  void consume(Duration work) { execute(work, nullptr); }
 
   /// Remaining queued work at the current instant.
   Duration backlog() const;
@@ -49,6 +62,10 @@ class CpuModel {
   double speed_factor() const { return speed_; }
 
  private:
+  /// FIFO bookkeeping shared by every execute() instantiation: scale the
+  /// work, extend the busy horizon, and return the completion instant.
+  Time enqueue(Duration work);
+
   Engine& engine_;
   double speed_;
   Time busy_until_ = Time::zero();

@@ -4,42 +4,20 @@
 
 namespace scale::sim {
 
-EventId Engine::at(Time t, Action action) {
-  SCALE_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(action)});
-  return id;
-}
-
-EventId Engine::after(Duration d, Action action) {
-  SCALE_CHECK_MSG(d >= Duration::zero(), "negative delay");
-  return at(now_ + d, std::move(action));
-}
-
 bool Engine::cancel(EventId id) {
-  if (id >= next_id_) return false;
-  // We cannot remove from the heap; remember the id and skip it on pop.
-  return cancelled_.insert(id).second;
-}
-
-bool Engine::pop_one() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; the action must be moved out, so
-    // copy the POD parts first, then pop.
-    const Event& top = queue_.top();
-    if (cancelled_.erase(top.id) > 0) {
-      queue_.pop();
-      continue;
-    }
-    SCALE_CHECK(top.at >= now_);
-    now_ = top.at;
-    Action action = std::move(const_cast<Event&>(top).action);
-    queue_.pop();
-    ++processed_;
-    action();
-    return true;
-  }
-  return false;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= pool_.size()) return false;
+  Slot& s = pool_[slot];
+  // Generation matches iff this exact event is still armed: release_slot
+  // bumps it the moment an event fires or is cancelled.
+  if (s.generation != generation_of(id)) return false;
+  // Move the callback out before releasing: its captures' destructors may
+  // re-enter the engine (and grow pool_), so they must run after all slot
+  // bookkeeping is done. The stale heap entry is skipped on pop.
+  InlineAction doomed = std::move(s.action);
+  release_slot(slot);
+  ++stale_;  // its heap entry remains until popped
+  return true;
 }
 
 void Engine::run(std::uint64_t limit) {
@@ -50,19 +28,15 @@ void Engine::run(std::uint64_t limit) {
 
 void Engine::run_until(Time t) {
   SCALE_CHECK(t >= now_);
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id)) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    if (stale_ != 0 && pool_[top.slot()].seq != top.seq()) {
+      heap_pop_top();
+      --stale_;
       continue;
     }
-    if (top.at > t) break;
-    now_ = top.at;
-    Action action = std::move(const_cast<Event&>(top).action);
-    queue_.pop();
-    ++processed_;
-    action();
+    if (top.at_us > t.count_us()) break;
+    fire_top(top);
   }
   now_ = t;
 }
@@ -70,11 +44,8 @@ void Engine::run_until(Time t) {
 void Engine::export_metrics(obs::MetricsRegistry& reg,
                             const std::string& prefix) const {
   reg.set_counter(prefix + ".events_processed", processed_);
-  reg.set_counter(prefix + ".events_scheduled", next_id_);
-  // cancelled_ may hold ids that already fired, so guard the subtraction.
-  const std::size_t pending =
-      queue_.size() > cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
-  reg.set(prefix + ".queue_depth", static_cast<double>(pending));
+  reg.set_counter(prefix + ".events_scheduled", next_seq_);
+  reg.set(prefix + ".queue_depth", static_cast<double>(live_));
   reg.set(prefix + ".now_ms", now_.to_ms());
 }
 

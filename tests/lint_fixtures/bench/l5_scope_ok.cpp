@@ -1,0 +1,11 @@
+// Identical shape to src/epc/l5_bad.cpp, but under bench/ — outside rule
+// L5's hot-path directory set, so it must produce zero findings.
+#include <functional>
+
+namespace fixture {
+
+void run_bench(int n, std::function<void()> body) {
+  for (int i = 0; i < n; ++i) body();
+}
+
+}  // namespace fixture

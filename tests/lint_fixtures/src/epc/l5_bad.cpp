@@ -1,0 +1,17 @@
+// L5 positive fixture: by-value std::function parameters in a hot-path dir.
+// Each copy of the callable may heap-allocate; the rule wants const&, &&, or
+// a template. Expected findings: 2.
+#include <functional>
+
+namespace fixture {
+
+class Dispatcher {
+ public:
+  void set_sink(std::function<void(int)> sink);  // L5: declaration
+
+  void run(int n, std::function<void()> body) {  // L5: inline definition
+    for (int i = 0; i < n; ++i) body();
+  }
+};
+
+}  // namespace fixture

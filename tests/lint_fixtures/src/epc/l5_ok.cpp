@@ -1,0 +1,26 @@
+// L5 negative fixture: every way to hold or accept a callable that does NOT
+// copy per call — plus the waiver contract. Expected findings: 0.
+#include <functional>
+#include <vector>
+
+namespace fixture {
+
+using Sink = std::function<void(int)>;  // alias, not a parameter
+
+class Clean {
+ public:
+  void set_sink(const std::function<void(int)>& sink);  // by const&
+  void set_once(std::function<void(int)>&& sink);       // by rvalue ref
+  void set_many(std::vector<std::function<void()>> v);  // function is a
+                                                        // template argument
+  // lint: by-value-ok
+  void legacy(std::function<void()> cb);  // waived (setup-time path)
+
+  template <typename F>
+  void run(int n, F&& body);  // templated — the preferred spelling
+
+ private:
+  std::function<void(int)> sink_;  // member storage is fine
+};
+
+}  // namespace fixture

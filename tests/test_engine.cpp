@@ -2,6 +2,8 @@
 
 #include "common/check.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "sim/engine.h"
@@ -121,6 +123,117 @@ TEST(Engine, CancelledEventDoesNotAdvanceClockInRunUntil) {
   eng.run_until(Time::from_us(200));
   EXPECT_EQ(eng.now(), Time::from_us(200));
   EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+// --- generation-tagged EventId semantics -----------------------------------
+//
+// EventIds pack (slot, generation); a slot is recycled as soon as its event
+// fires or is cancelled, but the generation bump must keep every stale handle
+// inert forever.
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.at(Time::from_us(10), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(eng.cancel(id));
+}
+
+TEST(Engine, ReusedSlotNeverCancelsWrongEvent) {
+  Engine eng;
+  // Fire one event so its pool slot returns to the free list, then schedule a
+  // new event that necessarily reuses that slot (single-event engine). The
+  // stale handle must not touch the new occupant.
+  const EventId stale = eng.at(Time::from_us(10), [] {});
+  eng.run();
+  bool fired = false;
+  const EventId fresh = eng.at(Time::from_us(20), [&] { fired = true; });
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(eng.cancel(stale));
+  eng.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ManyGenerationsOfSlotReuseStayIsolated) {
+  Engine eng;
+  std::vector<EventId> dead;
+  for (int round = 0; round < 64; ++round) {
+    const EventId id = eng.at(eng.now() + Duration::us(1), [] {});
+    dead.push_back(id);
+    eng.run();
+  }
+  int fired = 0;
+  eng.at(eng.now() + Duration::us(1), [&] { ++fired; });
+  // None of the 64 retired handles may cancel (or double-free under) the
+  // live event, regardless of how slots were recycled.
+  for (const EventId id : dead) EXPECT_FALSE(eng.cancel(id));
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilOverOnlyCancelledEventsAdvancesClock) {
+  Engine eng;
+  for (int i = 1; i <= 8; ++i) {
+    const EventId id = eng.at(Time::from_us(i * 10), [] {});
+    eng.cancel(id);
+  }
+  EXPECT_TRUE(eng.idle());
+  eng.run_until(Time::from_us(500));
+  EXPECT_EQ(eng.now(), Time::from_us(500));
+  EXPECT_EQ(eng.events_processed(), 0u);
+}
+
+TEST(Engine, IdleCountsLiveEventsNotHeapEntries) {
+  Engine eng;
+  const EventId a = eng.at(Time::from_us(10), [] {});
+  const EventId b = eng.at(Time::from_us(20), [] {});
+  EXPECT_FALSE(eng.idle());
+  eng.cancel(a);
+  EXPECT_FALSE(eng.idle());  // b still live
+  eng.cancel(b);
+  // Both heap entries still exist physically, but no live work remains.
+  EXPECT_TRUE(eng.idle());
+}
+
+TEST(Engine, HeapOrderingMatchesReferenceComparator) {
+  // Golden check: the 4-ary pooled heap must pop in exactly the order the
+  // old binary-heap comparator defined — (time asc, schedule-seq asc).
+  // Schedule a deterministic pseudo-random burst, interleave cancels, and
+  // compare the fired order against a reference sort.
+  Engine eng;
+  struct Ref {
+    std::int64_t at_us;
+    int seq;
+  };
+  std::vector<Ref> reference;
+  std::vector<int> fired;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    // Small time range so equal timestamps are common and the seq
+    // tie-break is genuinely exercised.
+    const auto at_us = static_cast<std::int64_t>(next() % 16);
+    ids.push_back(eng.at(Time::from_us(at_us), [&fired, i] { fired.push_back(i); }));
+    reference.push_back({at_us, i});
+  }
+  for (int i = 0; i < 500; i += 7) {
+    eng.cancel(ids[static_cast<std::size_t>(i)]);
+    reference[static_cast<std::size_t>(i)].seq = -1;  // mark cancelled
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const Ref& a, const Ref& b) { return a.at_us < b.at_us; });
+  std::vector<int> expected;
+  for (const Ref& r : reference)
+    if (r.seq >= 0) expected.push_back(r.seq);
+  eng.run();
+  EXPECT_EQ(fired, expected);
 }
 
 }  // namespace

@@ -24,8 +24,15 @@
 //   L3  every decode*/parse*/try_* declaration in src/proto and
 //       src/epc/reliable.* must be [[nodiscard]] — dropped decode results
 //       are how truncated-PDU bugs hide.
-//   L4  no naked `new`/`delete` (`= delete` and `operator new` are fine),
-//       and every task-marker comment carries an owner tag: TODO(name).
+//   L4  no naked `new`/`delete` (`= delete` plus `operator new`/`operator
+//       delete` overloads are fine), and every task-marker comment carries
+//       an owner tag: TODO(name).
+//   L5  no by-value `std::function` parameters in the hot-path dirs
+//       (src/sim, src/core, src/epc, src/mme): every call copies — and
+//       usually heap-allocates — the callable. Take `const&`, `&&`, or a
+//       template. Named parameters only (the declarator grammar is
+//       ambiguous with template-argument lists otherwise); waive with
+//       `// lint: by-value-ok` on the line or the line above.
 //
 // Exit status: 0 when clean, 1 when any finding, 2 on usage/IO errors.
 #include <algorithm>
@@ -48,7 +55,7 @@ namespace {
 struct Finding {
   std::string file;  // root-relative path
   std::size_t line = 0;
-  std::string rule;  // "L1".."L4"
+  std::string rule;  // "L1".."L5"
   std::string message;
 };
 
@@ -212,6 +219,12 @@ bool annotated_order_independent(const LexedFile& f, std::size_t line) {
          (line > 1 && comment_has(f, line - 1, "lint: order-independent"));
 }
 
+/// `// lint: by-value-ok` on the flagged line or the line above (rule L5).
+bool annotated_by_value_ok(const LexedFile& f, std::size_t line) {
+  return comment_has(f, line, "lint: by-value-ok") ||
+         (line > 1 && comment_has(f, line - 1, "lint: by-value-ok"));
+}
+
 // ------------------------------------------------------------- path scoping
 
 bool starts_with(const std::string& s, const char* prefix) {
@@ -227,6 +240,11 @@ bool in_l2_scope(const std::string& rel) {
 bool in_l3_scope(const std::string& rel) {
   return starts_with(rel, "src/proto/") ||
          starts_with(rel, "src/epc/reliable.");
+}
+
+bool in_l5_scope(const std::string& rel) {
+  return starts_with(rel, "src/sim/") || starts_with(rel, "src/core/") ||
+         starts_with(rel, "src/epc/") || starts_with(rel, "src/mme/");
 }
 
 bool l1_exempt(const std::string& rel) {
@@ -414,11 +432,12 @@ void check_l4(const std::string& rel, const LexedFile& f,
   for (auto it = std::sregex_iterator(code.begin(), code.end(), new_re);
        it != std::sregex_iterator(); ++it) {
     const std::size_t at = static_cast<std::size_t>(it->position());
-    // `operator new` declarations are allowed.
+    // `operator new` declarations and `#include <new>` are allowed.
     std::size_t q = at;
     while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1])))
       --q;
     if (q >= 8 && code.compare(q - 8, 8, "operator") == 0) continue;
+    if (q > 0 && code[q - 1] == '<') continue;
     out.push_back({rel, line_of(code, at), "L4",
                    "naked new — own it with std::make_unique/std::vector"});
   }
@@ -430,6 +449,9 @@ void check_l4(const std::string& rel, const LexedFile& f,
     while (q > 0 && std::isspace(static_cast<unsigned char>(code[q - 1])))
       --q;
     if (q > 0 && code[q - 1] == '=') continue;  // `= delete;`
+    // `operator delete` overloads (counting-allocator interposers) are the
+    // symmetric allowance to `operator new` above.
+    if (q >= 8 && code.compare(q - 8, 8, "operator") == 0) continue;
     out.push_back({rel, line_of(code, at), "L4",
                    "naked delete — the owner's destructor should do this"});
   }
@@ -442,6 +464,66 @@ void check_l4(const std::string& rel, const LexedFile& f,
       out.push_back({rel, line, "L4",
                      "TODO without owner — write TODO(name): ..."});
     }
+  }
+}
+
+void check_l5(const std::string& rel, const LexedFile& f,
+              std::vector<Finding>& out) {
+  if (!in_l5_scope(rel)) return;
+  const std::string& code = f.code;
+  static const std::regex fn_re(R"(\bstd\s*::\s*function\s*<)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), fn_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t at = static_cast<std::size_t>(it->position());
+    // Parameter position means "inside an open paren": scan back to the
+    // previous ; { or } and require an unmatched '(' on the way. Members,
+    // locals, aliases, and return types all fail this and are fine by-value.
+    std::size_t s = at;
+    while (s > 0) {
+      const char ch = code[s - 1];
+      if (ch == ';' || ch == '{' || ch == '}') break;
+      --s;
+    }
+    int paren = 0;
+    for (std::size_t k = s; k < at; ++k) {
+      if (code[k] == '(') ++paren;
+      if (code[k] == ')') --paren;
+    }
+    if (paren <= 0) continue;
+    // Walk past the template argument list (angle brackets nest).
+    std::size_t p = static_cast<std::size_t>(it->position() + it->length());
+    int depth = 1;
+    while (p < code.size() && depth > 0) {
+      if (code[p] == '<') ++depth;
+      if (code[p] == '>') --depth;
+      ++p;
+    }
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p])) != 0)
+      ++p;
+    if (p >= code.size()) continue;
+    // &/&& and * take no copy; > and , mean this std::function was itself a
+    // template argument (e.g. vector<std::function<...>>), not a declarator.
+    if (code[p] == '&' || code[p] == '*' || code[p] == '>' || code[p] == ',' ||
+        code[p] == ')')
+      continue;
+    std::string name;
+    while (p < code.size() && ident_char(code[p])) name.push_back(code[p++]);
+    if (name.empty()) continue;
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p])) != 0)
+      ++p;
+    // After a named parameter declarator comes `,` `)` or a default `=`.
+    if (p >= code.size() ||
+        !(code[p] == ',' || code[p] == ')' || code[p] == '='))
+      continue;
+    const std::size_t line = line_of(code, at);
+    if (annotated_by_value_ok(f, line)) continue;
+    out.push_back({rel, line, "L5",
+                   "by-value std::function parameter '" + name +
+                       "' — every call copies (and usually heap-allocates) "
+                       "the callable; take const&, &&, or a template, or "
+                       "annotate `// lint: by-value-ok`"});
   }
 }
 
@@ -543,6 +625,7 @@ int main(int argc, char** argv) {
     check_l2(rel, lf, sibling_decls, findings);
     check_l3(rel, lf, findings);
     check_l4(rel, lf, findings);
+    check_l5(rel, lf, findings);
     if (findings.size() != before) files_with_findings.insert(rel);
   }
 

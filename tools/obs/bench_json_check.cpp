@@ -4,45 +4,142 @@
 // through this tool, so a schema regression fails the build gate, not a
 // downstream plotting script.
 //
+// A second mode guards the perf trajectory: --compare-allocs diffs the
+// "allocations" section of a fresh run against the committed baseline
+// (BENCH_core.json) and fails when any phase allocates MORE than it used
+// to. Allocation counts — unlike wall times — are deterministic, so the
+// gate is exact and runs on any machine.
+//
 // usage: bench_json_check <file.json>...
-// Exit: 0 all valid, 1 any invalid, 2 usage/IO error.
+//        bench_json_check --compare-allocs <baseline.json> <current.json>
+// Exit: 0 all valid / no regression, 1 any invalid / regression, 2 usage/IO.
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "obs/json.h"
 #include "obs/report.h"
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.json>...\n", argv[0]);
-    return 2;
+namespace {
+
+/// Load + parse + schema-validate one document; nullopt (with a message on
+/// stderr) when anything is wrong. `*io_error` distinguishes exit code 2.
+std::optional<scale::obs::Json> load_bench(const char* path, bool* io_error) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    *io_error = true;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = scale::obs::Json::parse(buf.str(), &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+    return std::nullopt;
+  }
+  const auto problems = scale::obs::validate_bench_json(*doc);
+  for (const auto& p : problems)
+    std::fprintf(stderr, "%s: %s\n", path, p.c_str());
+  if (!problems.empty()) return std::nullopt;
+  return doc;
+}
+
+/// Extract {row label -> value of the "allocs" column} from the
+/// "allocations" section. Empty map when the section is absent.
+std::map<std::string, double> alloc_counts(const scale::obs::Json& doc) {
+  std::map<std::string, double> out;
+  const auto* sections = doc.find("sections");
+  if (sections == nullptr) return out;
+  for (const auto& sec : sections->elements()) {
+    const auto* name = sec.find("name");
+    if (name == nullptr || name->as_string() != "allocations") continue;
+    std::size_t allocs_col = 0;
+    const auto& columns = sec.find("columns")->elements();
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      if (columns[c].as_string() == "allocs") allocs_col = c;
+    for (const auto& row : sec.find("rows")->elements()) {
+      const auto& values = row.find("values")->elements();
+      if (allocs_col < values.size())
+        out[row.find("label")->as_string()] = values[allocs_col].as_double();
+    }
+  }
+  return out;
+}
+
+/// The perf gate: every phase present in the baseline must still exist and
+/// must not allocate more than it did at baseline time. New phases (no
+/// baseline yet) pass; re-baseline via scripts/bench_baseline.sh.
+int compare_allocs(const char* baseline_path, const char* current_path) {
+  bool io_error = false;
+  const auto baseline = load_bench(baseline_path, &io_error);
+  const auto current = load_bench(current_path, &io_error);
+  if (io_error) return 2;
+  if (!baseline.has_value() || !current.has_value()) return 1;
+
+  const auto want = alloc_counts(*baseline);
+  const auto got = alloc_counts(*current);
+  if (want.empty()) {
+    std::fprintf(stderr, "%s: no allocations section to compare\n",
+                 baseline_path);
+    return 1;
   }
   int code = 0;
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream in(argv[i]);
-    if (!in) {
-      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
-      return 2;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string error;
-    const auto doc = scale::obs::Json::parse(buf.str(), &error);
-    if (!doc.has_value()) {
-      std::fprintf(stderr, "%s: parse error: %s\n", argv[i], error.c_str());
+  for (const auto& [label, base_allocs] : want) {
+    const auto it = got.find(label);
+    if (it == got.end()) {
+      std::fprintf(stderr, "alloc-compare: phase '%s' missing from %s\n",
+                   label.c_str(), current_path);
       code = 1;
       continue;
     }
-    const auto problems = scale::obs::validate_bench_json(*doc);
-    for (const auto& p : problems)
-      std::fprintf(stderr, "%s: %s\n", argv[i], p.c_str());
-    if (!problems.empty())
+    if (it->second > base_allocs) {
+      std::fprintf(stderr,
+                   "alloc-compare: '%s' regressed: %.0f allocs "
+                   "(baseline %.0f)\n",
+                   label.c_str(), it->second, base_allocs);
       code = 1;
-    else
-      std::printf("%s: OK (%s)\n", argv[i],
-                  doc->find("bench")->as_string().c_str());
+    } else {
+      std::printf("alloc-compare: %s: %.0f <= %.0f OK\n", label.c_str(),
+                  it->second, base_allocs);
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.json>...\n"
+                 "       %s --compare-allocs <baseline.json> <current.json>\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  if (std::string(argv[1]) == "--compare-allocs") {
+    if (argc != 4) {
+      std::fprintf(stderr,
+                   "usage: %s --compare-allocs <baseline.json> <current.json>\n",
+                   argv[0]);
+      return 2;
+    }
+    return compare_allocs(argv[2], argv[3]);
+  }
+  int code = 0;
+  for (int i = 1; i < argc; ++i) {
+    bool io_error = false;
+    const auto doc = load_bench(argv[i], &io_error);
+    if (io_error) return 2;
+    if (!doc.has_value()) {
+      code = 1;
+      continue;
+    }
+    std::printf("%s: OK (%s)\n", argv[i], doc->find("bench")->as_string().c_str());
   }
   return code;
 }
