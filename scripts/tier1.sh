@@ -21,6 +21,9 @@ scripts/lint.sh build
 # regression in obs::Report fails the gate before any plotting script sees it.
 build/bench/fig6_analysis --json build/BENCH_fig6_analysis.json >/dev/null
 build/tools/obs/bench_json_check build/BENCH_fig6_analysis.json
+build/bench/ablation_overload --json build/BENCH_ablation_overload.json \
+  >/dev/null
+build/tools/obs/bench_json_check build/BENCH_ablation_overload.json
 
 # Perf-smoke leg (DESIGN.md §8): run the hot-path microbench and diff its
 # allocation counters against the committed baseline. Alloc counts — not

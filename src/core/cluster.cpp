@@ -85,6 +85,7 @@ MmpNode& ScaleCluster::add_mmp() {
   vm_cfg.offload_threshold = cfg_.mmp_offload_threshold;
   vm_cfg.shed_backlog = cfg_.mmp_shed_backlog;
   vm_cfg.shed_backoff = cfg_.mmp_shed_backoff;
+  vm_cfg.governor = cfg_.mmp_governor;
   vm_cfg.seed = rng_.next_u64();
 
   auto vm = std::make_unique<MmpNode>(fabric_, vm_cfg);

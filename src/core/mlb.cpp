@@ -90,9 +90,11 @@ void Mlb::forward(NodeId mmp, NodeId origin, const proto::Guti& guti,
 
 void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   ++overload_rejects_;
+  if (rej.procedure < 6)
+    ++rejects_by_type_[static_cast<std::size_t>(rej.procedure)];
+  const Time now = fabric_.engine().now();
   shed_until_[rej.mmp_node] =
-      fabric_.engine().now() +
-      Duration::us(static_cast<std::int64_t>(rej.backoff_us));
+      now + Duration::us(static_cast<std::int64_t>(rej.backoff_us));
   if (rej.inner == nullptr) return;  // pure backoff hint, nothing to re-steer
   if (ring_.empty()) {
     ++unroutable_;
@@ -108,6 +110,37 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
     if (c != rej.mmp_node) alternatives.push_back(c);
   const NodeId target =
       alternatives.empty() ? rej.mmp_node : pick_least_loaded(alternatives);
+  // Graduated sheds (level > 0) of deferrable work are dropped outright
+  // when the re-steer would be futile: every candidate is already backing
+  // off, or even the least-loaded target reports drop_load_limit — i.e. it
+  // is saturated and shedding this class itself, so a forced accept would
+  // only deepen the very queue the governor is draining. The device's own
+  // retry timer beats that. Attach is only droppable when the shedder sat
+  // at the kOverload band (the whole ladder above it already fired), and
+  // binary sheds (level 0) keep the PR 1 always-re-steer behaviour.
+  bool all_backed_off = true;
+  for (const hash::RingNodeId c : alternatives)
+    if (!in_backoff(c, now)) all_backed_off = false;
+  const auto ptype = static_cast<proto::ProcedureType>(rej.procedure);
+  const bool deferrable =
+      ptype == proto::ProcedureType::kTrackingAreaUpdate ||
+      ptype == proto::ProcedureType::kServiceRequest ||
+      ptype == proto::ProcedureType::kHandover;
+  const bool droppable =
+      deferrable || rej.level >= static_cast<std::uint8_t>(
+                                     core::PressureLevel::kOverload);
+  if (rej.level > 0 && droppable &&
+      (all_backed_off || load_of(target) >= cfg_.drop_load_limit)) {
+    ++overload_drops_;
+    if (obs::Tracer* tr = obs::Tracer::current()) {
+      obs::Json args = obs::Json::object();
+      args.set("shedder", rej.mmp_node);
+      args.set("procedure", proto::procedure_name(ptype));
+      args.set("guti", rej.guti.str());
+      tr->instant(node_, "shed_drop", now, std::move(args));
+    }
+    return;
+  }
   ++overload_resteers_;
   if (obs::Tracer* tr = obs::Tracer::current()) {
     obs::Json args = obs::Json::object();
@@ -121,7 +154,38 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
           /*no_offload=*/true);
 }
 
+bool Mlb::under_pressure(Time now) const {
+  for (const auto& [mmp, until] : shed_until_)  // lint: order-independent
+    if (now < until) return true;
+  for (const auto& [mmp, load] : loads_)  // lint: order-independent
+    if (load >= cfg_.pressure_load_limit) return true;
+  return false;
+}
+
+void Mlb::maybe_backpressure(NodeId from) {
+  if (cfg_.enb_bucket_rate <= 0.0) return;
+  const Time now = fabric_.engine().now();
+  if (!under_pressure(now)) return;
+  auto [it, inserted] = enb_buckets_.try_emplace(
+      from, cfg_.enb_bucket_rate, cfg_.enb_bucket_burst, now);
+  if (it->second.try_take(now)) return;
+  // Bucket dry: tell the eNB to pace. Rate-limit the signal to half the
+  // window so a hot eNB is not flooded with duplicate OverloadStarts.
+  auto [sig, first] = enb_signal_at_.try_emplace(from, Time::zero());
+  if (!first && now < sig->second + cfg_.enb_backoff_window * 0.5) return;
+  sig->second = now;
+  ++backpressure_signals_;
+  proto::OverloadStart start;
+  start.level = 1;
+  start.window_us =
+      static_cast<std::uint64_t>(cfg_.enb_backoff_window.count_us());
+  // Advisory: a lost signal just means the eNB keeps sending and the next
+  // dry take re-signals; retransmitting a stale window would be worse.
+  rel_.send_unreliable(from, proto::make_pdu(proto::S1apMessage{start}));
+}
+
 void Mlb::route_initial(NodeId from, const proto::InitialUeMessage& msg) {
+  maybe_backpressure(from);
   proto::Guti guti;
   if (const auto* a = std::get_if<proto::NasAttachRequest>(&msg.nas)) {
     // "In case of a request from an unregistered device, the MLB first
@@ -310,6 +374,12 @@ void Mlb::export_metrics(obs::MetricsRegistry& reg,
   reg.set_counter(prefix + ".unroutable", unroutable_);
   reg.set_counter(prefix + ".overload_rejects", overload_rejects_);
   reg.set_counter(prefix + ".overload_resteers", overload_resteers_);
+  reg.set_counter(prefix + ".overload_drops", overload_drops_);
+  reg.set_counter(prefix + ".backpressure_signals", backpressure_signals_);
+  for (const proto::ProcedureType p : proto::kAllProcedures) {
+    reg.set_counter(prefix + ".overload_rejects." + proto::procedure_name(p),
+                    rejects_by_type_[static_cast<std::size_t>(p)]);
+  }
   reg.set(prefix + ".utilization", util_.utilization());
   reg.set(prefix + ".ring_version", static_cast<double>(ring_version_));
   rel_.export_metrics(reg, prefix + ".transport");

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/overload.h"
 #include "epc/fabric.h"
 #include "epc/reliable.h"
 #include "hash/ring.h"
@@ -49,6 +50,24 @@ class Mlb : public Endpoint {
     /// First M-TMSI this MLB assigns; co-located MLB VMs of one pool use
     /// disjoint ranges so uncoordinated allocation stays collision-free.
     std::uint32_t tmsi_base = 1;
+    /// Per-eNB edge backpressure (graduated overload, DESIGN.md §9): while
+    /// any MMP is inside a shed-backoff window, each eNB's Initial UE
+    /// messages drain a token bucket; when an eNB's bucket runs dry the MLB
+    /// sends it OverloadStart (pace for enb_backoff_window). rate 0 = off.
+    double enb_bucket_rate = 0.0;  ///< tokens (initials) per second
+    double enb_bucket_burst = 50.0;
+    Duration enb_backoff_window = Duration::ms(250.0);
+    /// Graduated sheds (OverloadReject.level > 0) of deferrable work are
+    /// dropped instead of re-steered when the best alternative's reported
+    /// load is at or above this (load_score folds in the governor band, so
+    /// ~3.0 means "utilization-saturated AND already shedding this class").
+    /// Binary sheds (level 0) always re-steer regardless.
+    double drop_load_limit = 3.0;
+    /// Edge backpressure also engages when any MMP's reported load reaches
+    /// this (a governed VM at Elevated reports util + band ≈ 2.0), so
+    /// pacing starts from the LoadReport stream instead of waiting for the
+    /// first OverloadReject round trip.
+    double pressure_load_limit = 2.0;
   };
 
   Mlb(Fabric& fabric, Config cfg);
@@ -83,6 +102,12 @@ class Mlb : public Endpoint {
   std::uint64_t unroutable() const { return unroutable_; }
   std::uint64_t overload_rejects() const { return overload_rejects_; }
   std::uint64_t overload_resteers() const { return overload_resteers_; }
+  std::uint64_t overload_drops() const { return overload_drops_; }
+  std::uint64_t backpressure_signals() const { return backpressure_signals_; }
+  /// Rejects split by the procedure type the shedding MMP reported.
+  std::uint64_t overload_rejects_of(proto::ProcedureType p) const {
+    return rejects_by_type_[static_cast<std::size_t>(p)];
+  }
   const epc::ReliableChannel& transport() const { return rel_; }
 
   /// Publish routing counters + load map under `prefix` ("mlb.relays",
@@ -104,6 +129,11 @@ class Mlb : public Endpoint {
   /// True while `mmp` is inside a shed-backoff window (OverloadReject hint).
   bool in_backoff(NodeId mmp, Time now) const;
   void handle_overload_reject(const proto::OverloadReject& rej);
+  /// True while any MMP is inside a shed-backoff window.
+  bool under_pressure(Time now) const;
+  /// Charge `from`'s token bucket for one Initial UE message; when dry,
+  /// signal OverloadStart so the eNB paces at the edge.
+  void maybe_backpressure(NodeId from);
 
   Fabric& fabric_;
   Config cfg_;
@@ -120,6 +150,9 @@ class Mlb : public Endpoint {
   /// Shed-backoff windows per MMP: new Idle→Active work avoids these VMs
   /// until the hinted deadline passes.
   std::unordered_map<NodeId, Time> shed_until_;
+  /// Edge-backpressure state, lazily created per eNB while pressure lasts.
+  std::unordered_map<NodeId, TokenBucket> enb_buckets_;
+  std::unordered_map<NodeId, Time> enb_signal_at_;
 
   std::uint64_t initial_routed_ = 0;
   std::uint64_t sticky_routed_ = 0;
@@ -127,6 +160,9 @@ class Mlb : public Endpoint {
   std::uint64_t unroutable_ = 0;
   std::uint64_t overload_rejects_ = 0;
   std::uint64_t overload_resteers_ = 0;
+  std::uint64_t overload_drops_ = 0;
+  std::uint64_t backpressure_signals_ = 0;
+  std::uint64_t rejects_by_type_[6] = {0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace scale::core

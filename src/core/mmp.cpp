@@ -11,8 +11,67 @@ namespace scale::core {
 using epc::ContextRole;
 using mme::UeContext;
 
+namespace {
+
+/// Procedure type of an Initial UE message, for priority-ordered shedding.
+proto::ProcedureType initial_procedure(const proto::NasMessage& nas) {
+  if (std::holds_alternative<proto::NasAttachRequest>(nas))
+    return proto::ProcedureType::kAttach;
+  if (std::holds_alternative<proto::NasTauRequest>(nas))
+    return proto::ProcedureType::kTrackingAreaUpdate;
+  if (std::holds_alternative<proto::NasDetachRequest>(nas))
+    return proto::ProcedureType::kDetach;
+  return proto::ProcedureType::kServiceRequest;
+}
+
+/// Cap the governor's paging stretch at the transport's retry horizon: a
+/// page deferred past the last retransmission of a reliable send could
+/// arrive after the channel has already abandoned it.
+MmpNode::Config clamp_paging_defer(MmpNode::Config cfg,
+                                   const epc::TransportConfig& transport) {
+  if (cfg.governor.enabled && transport.reliable) {
+    const Duration horizon = transport.retry_horizon();
+    if (cfg.governor.max_paging_defer > horizon)
+      cfg.governor.max_paging_defer = horizon;
+  }
+  return cfg;
+}
+
+}  // namespace
+
 MmpNode::MmpNode(epc::Fabric& fabric, Config cfg)
-    : mme::ClusterVm(fabric, cfg.base), mmp_cfg_(cfg), rng_(cfg.seed) {}
+    : mme::ClusterVm(fabric, cfg.base),
+      mmp_cfg_(clamp_paging_defer(std::move(cfg), fabric.transport())),
+      governor_(mmp_cfg_.governor), rng_(mmp_cfg_.seed) {
+  if (governor_.enabled()) {
+    // Reassess pressure on every utilization sample, independent of traffic
+    // — levels decay back to Nominal even when no new requests arrive.
+    util_.set_sample_hook([this](Time now, double util) {
+      (void)util;  // governor reads the EWMA through pressure_signals()
+      governor_.assess(now, pressure_signals());
+    });
+  }
+}
+
+PressureSignals MmpNode::pressure_signals() const {
+  PressureSignals sig;
+  sig.backlog = cpu_.backlog();
+  sig.utilization = util_.utilization();
+  sig.in_flight = app().in_flight();
+  return sig;
+}
+
+double MmpNode::load_score() const {
+  // Fold the governor's pressure band into the advertised load so the MLB
+  // steers away from a VM that has begun shedding before its utilization
+  // EWMA catches up.
+  double score = mme::ClusterVm::load_score();
+  if (governor_.enabled())
+    score += static_cast<double>(static_cast<int>(governor_.level()));
+  return score;
+}
+
+Duration MmpNode::paging_defer_hint() const { return governor_.paging_defer(); }
 
 bool MmpNode::is_master_of(std::uint64_t guti_key) const {
   return ring_ != nullptr && !ring_->empty() &&
@@ -118,27 +177,52 @@ void MmpNode::handle_forward(NodeId from, const proto::ClusterForward& fwd) {
     // Checked last — forward-to-master and geo-offload already move the
     // work elsewhere cheaply. no_offload forwards are final (an MLB
     // re-steer or geo bounce): shedding those would ping-pong forever, so
-    // they always join the queue.
-    if (!fwd.no_offload && mmp_cfg_.shed_backlog > Duration::zero() &&
-        backlog >= mmp_cfg_.shed_backlog && lb() != 0) {
-      ++overload_sheds_;
-      if (obs::Tracer* tr = obs::Tracer::current()) {
-        obs::Json args = obs::Json::object();
-        args.set("guti", fwd.guti.str());
-        args.set("backlog_ms", backlog.to_ms());
-        tr->instant(node(), "overload_shed", fabric_.engine().now(),
-                    std::move(args));
+    // they always join the queue. Two modes: the graduated governor
+    // (watermark bands, priority-ordered) when enabled, else the legacy
+    // binary backlog threshold.
+    const bool governed = governor_.enabled();
+    if (!fwd.no_offload && lb() != 0 &&
+        (governed || mmp_cfg_.shed_backlog > Duration::zero())) {
+      const proto::ProcedureType ptype = initial_procedure(init->nas);
+      bool shed = false;
+      PressureLevel level = PressureLevel::kNominal;
+      if (governed) {
+        const OverloadGovernor::Decision d =
+            governor_.admit(fabric_.engine().now(), pressure_signals(), ptype);
+        shed = !d.admit;
+        level = d.level;
+      } else {
+        shed = backlog >= mmp_cfg_.shed_backlog;
       }
-      proto::OverloadReject rej;
-      rej.mmp_node = node();
-      rej.origin = fwd.origin;
-      rej.guti = fwd.guti;
-      rej.backoff_us =
-          static_cast<std::uint64_t>(mmp_cfg_.shed_backoff.count_us());
-      rej.inner = fwd.inner;
-      // Fast path, but reliable: losing the reject would strand the request.
-      rel_.send(lb(), proto::pdu_of(proto::ClusterMessage{rej}));
-      return;
+      if (shed) {
+        ++overload_sheds_;
+        ++sheds_by_type_[static_cast<std::size_t>(ptype)];
+        if (obs::Tracer* tr = obs::Tracer::current()) {
+          obs::Json args = obs::Json::object();
+          args.set("guti", fwd.guti.str());
+          args.set("backlog_ms", backlog.to_ms());
+          if (governed) {
+            args.set("procedure", proto::procedure_name(ptype));
+            args.set("level", pressure_level_name(level));
+          }
+          tr->instant(node(), governed ? "overload_action" : "overload_shed",
+                      fabric_.engine().now(), std::move(args));
+        }
+        proto::OverloadReject rej;
+        rej.mmp_node = node();
+        rej.origin = fwd.origin;
+        rej.guti = fwd.guti;
+        rej.backoff_us = static_cast<std::uint64_t>(
+            (governed ? governor_.config().backoff : mmp_cfg_.shed_backoff)
+                .count_us());
+        rej.procedure = static_cast<std::uint8_t>(ptype);
+        rej.level = static_cast<std::uint8_t>(level);
+        rej.inner = fwd.inner;
+        // Fast path, but reliable: losing the reject would strand the
+        // request.
+        rel_.send(lb(), proto::pdu_of(proto::ClusterMessage{rej}));
+        return;
+      }
     }
   }
 
@@ -298,6 +382,11 @@ void MmpNode::export_metrics(obs::MetricsRegistry& reg,
   reg.set_counter(prefix + ".geo_rejects", geo_rejects_);
   reg.set_counter(prefix + ".forwarded_to_master", forwarded_to_master_);
   reg.set_counter(prefix + ".overload_sheds", overload_sheds_);
+  for (const proto::ProcedureType p : proto::kAllProcedures) {
+    reg.set_counter(prefix + ".overload_sheds." + proto::procedure_name(p),
+                    sheds_by_type_[static_cast<std::size_t>(p)]);
+  }
+  if (governor_.enabled()) governor_.export_metrics(reg, prefix + ".overload");
 }
 
 }  // namespace scale::core

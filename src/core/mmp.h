@@ -13,6 +13,7 @@
 #pragma once
 
 #include "core/geo.h"
+#include "core/overload.h"
 #include "core/replication.h"
 #include "hash/ring.h"
 #include "mme/cluster_vm.h"
@@ -37,6 +38,10 @@ class MmpNode final : public mme::ClusterVm {
     /// seed behaviour of unbounded silent queue growth.
     Duration shed_backlog = Duration::zero();
     Duration shed_backoff = Duration::ms(200.0);
+    /// Graduated admission control (OverloadGovernor). Disabled by default;
+    /// when enabled it supersedes the binary shed_backlog rule above with
+    /// watermark pressure bands and priority-ordered shedding.
+    OverloadGovernor::Config governor;
     std::uint64_t seed = 7777;
   };
 
@@ -67,6 +72,11 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t geo_rejects() const { return geo_rejects_; }
   std::uint64_t forwarded_to_master() const { return forwarded_to_master_; }
   std::uint64_t overload_sheds() const { return overload_sheds_; }
+  /// Sheds split by the procedure type of the rejected request.
+  std::uint64_t sheds_of(proto::ProcedureType p) const {
+    return sheds_by_type_[static_cast<std::size_t>(p)];
+  }
+  const OverloadGovernor& governor() const { return governor_; }
 
   /// ClusterVm counters plus the MMP-specific geo/shed counters.
   void export_metrics(obs::MetricsRegistry& reg,
@@ -83,12 +93,16 @@ class MmpNode final : public mme::ClusterVm {
   void on_idle_transition(mme::UeContext& ctx) override;
   void on_detach(mme::UeContext& ctx) override;
   void on_state_adopted(mme::UeContext& ctx) override;
+  double load_score() const override;
+  Duration paging_defer_hint() const override;
 
  private:
+  PressureSignals pressure_signals() const;
   void replicate_local(mme::UeContext& ctx);
   std::optional<NodeId> local_replica_target(std::uint64_t guti_key) const;
 
   Config mmp_cfg_;
+  OverloadGovernor governor_;
   Rng rng_;
   const hash::ConsistentHashRing* ring_ = nullptr;
   const ReplicationPolicy* policy_ = nullptr;
@@ -99,6 +113,7 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t geo_rejects_ = 0;
   std::uint64_t forwarded_to_master_ = 0;
   std::uint64_t overload_sheds_ = 0;
+  std::uint64_t sheds_by_type_[6] = {0, 0, 0, 0, 0, 0};
 };
 
 }  // namespace scale::core

@@ -91,21 +91,47 @@ void EnodeB::ue_initial_nas(Ue& ue, proto::NasMessage nas,
   // Radio leg UE -> eNB, then S1AP InitialUeMessage to the selected MME.
   fabric_.engine().after(cfg_.radio_delay, [this, &ue, nas = std::move(nas),
                                             exclude_mme]() mutable {
-    // Reuse an existing S1 connection if the UE still has one.
-    auto it = conns_.find(ue.s1_conn());
-    if (it != conns_.end() && it->second.ue == &ue) conns_.erase(it);
-    const proto::EnbUeId id = next_ue_id_++;
-    const NodeId mme = select_mme(nas, exclude_mme);
-    conns_[id] = Conn{&ue, mme, proto::MmeUeId{}, fabric_.engine().now()};
-    ue.set_s1_conn(id);
-    ensure_rrc_sweep();
-    proto::InitialUeMessage msg;
-    msg.enb_id = node_;
-    msg.enb_ue_id = id;
-    msg.tac = cfg_.tac;
-    msg.nas = std::move(nas);
-    rel_.send(mme, proto::make_pdu(std::move(msg)));
+    const Time now = fabric_.engine().now();
+    if (now < mme_backoff_until_ && cfg_.overload_pace > Duration::zero()) {
+      // Core signalled OverloadStart: serialize initials onto a spaced
+      // grid instead of releasing the herd at once (3GPP access-class
+      // barring in spirit, deterministic in mechanism).
+      Time slot = now + cfg_.overload_pace;
+      if (next_paced_slot_ + cfg_.overload_pace > slot)
+        slot = next_paced_slot_ + cfg_.overload_pace;
+      // Grid full: stop absorbing — the core's admission control owns the
+      // excess from here.
+      if (slot - now <= cfg_.overload_pace_horizon) {
+        next_paced_slot_ = slot;
+        ++paced_initials_;
+        fabric_.engine().after(
+            slot - now,
+            [this, &ue, nas = std::move(nas), exclude_mme]() mutable {
+              send_initial(ue, std::move(nas), exclude_mme);
+            });
+        return;
+      }
+    }
+    send_initial(ue, std::move(nas), exclude_mme);
   });
+}
+
+void EnodeB::send_initial(Ue& ue, proto::NasMessage nas,
+                          std::optional<NodeId> exclude_mme) {
+  // Reuse an existing S1 connection if the UE still has one.
+  auto it = conns_.find(ue.s1_conn());
+  if (it != conns_.end() && it->second.ue == &ue) conns_.erase(it);
+  const proto::EnbUeId id = next_ue_id_++;
+  const NodeId mme = select_mme(nas, exclude_mme);
+  conns_[id] = Conn{&ue, mme, proto::MmeUeId{}, fabric_.engine().now()};
+  ue.set_s1_conn(id);
+  ensure_rrc_sweep();
+  proto::InitialUeMessage msg;
+  msg.enb_id = node_;
+  msg.enb_ue_id = id;
+  msg.tac = cfg_.tac;
+  msg.nas = std::move(nas);
+  rel_.send(mme, proto::make_pdu(std::move(msg)));
 }
 
 void EnodeB::ue_uplink_nas(Ue& ue, proto::NasMessage nas) {
@@ -280,6 +306,12 @@ void EnodeB::handle_s1ap(NodeId from, const proto::S1apMessage& msg) {
           Ue& ue = *conn->ue;
           fabric_.engine().after(cfg_.radio_delay,
                                  [&ue]() { ue.on_connection_established(); });
+        } else if constexpr (std::is_same_v<T, proto::OverloadStart>) {
+          // Advisory pacing window from the core; fresh signals extend it.
+          const Time until =
+              fabric_.engine().now() +
+              Duration::us(static_cast<std::int64_t>(m.window_us));
+          if (until > mme_backoff_until_) mme_backoff_until_ = until;
         } else {
           SCALE_DEBUG("eNodeB ignoring S1AP message");
         }

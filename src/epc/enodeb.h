@@ -39,6 +39,16 @@ class EnodeB : public Endpoint {
     /// never answers — how real eNodeBs clean up after a dead core node.
     /// zero() disables it (the MME inactivity timer then owns releases).
     Duration rrc_inactivity = Duration::zero();
+    /// Spacing between Initial UE messages while an MME OverloadStart
+    /// pacing window is active (S1AP overload backoff). The window itself
+    /// only opens when the core sends OverloadStart; zero() ignores it.
+    Duration overload_pace = Duration::ms(2.0);
+    /// Deepest the pacing grid may reach ahead of now. Pacing smooths the
+    /// instantaneous herd; once the grid is this full, further initials go
+    /// straight through and the core's admission control owns the excess —
+    /// otherwise a sustained burst turns the grid into a multi-second
+    /// delay line that outlives the overload itself.
+    Duration overload_pace_horizon = Duration::ms(200.0);
     std::uint64_t seed = 7;
   };
 
@@ -57,6 +67,10 @@ class EnodeB : public Endpoint {
   void remove_mme(NodeId mme);
   void set_mme_weight(NodeId mme, double weight);
   std::size_t mme_count() const { return mmes_.size(); }
+
+  /// Tune the OverloadStart pacing grid after construction (benchmarks
+  /// match it to pool capacity).
+  void set_overload_pace(Duration pace) { cfg_.overload_pace = pace; }
 
   // --- UE-facing radio interface --------------------------------------
   /// First NAS message of a procedure: opens an S1 connection, selects the
@@ -85,6 +99,8 @@ class EnodeB : public Endpoint {
   std::size_t connection_count() const { return conns_.size(); }
   std::uint64_t paging_hits() const { return paging_hits_; }
   std::uint64_t rrc_releases() const { return rrc_releases_; }
+  /// Initials delayed onto the pacing grid by an OverloadStart window.
+  std::uint64_t paced_initials() const { return paced_initials_; }
   const ReliableChannel& transport() const { return rel_; }
 
  private:
@@ -110,6 +126,9 @@ class EnodeB : public Endpoint {
   Conn* conn_by_enb_ue_id(proto::EnbUeId id);
   void to_ue(Ue& ue, proto::NasMessage nas);
   void handle_s1ap(NodeId from, const proto::S1apMessage& msg);
+  /// Open the S1 connection and send the InitialUeMessage (post-pacing).
+  void send_initial(Ue& ue, proto::NasMessage nas,
+                    std::optional<NodeId> exclude_mme);
 
   Fabric& fabric_;
   Config cfg_;
@@ -121,6 +140,11 @@ class EnodeB : public Endpoint {
   std::unordered_map<std::uint32_t, Ue*> camped_;  // m_tmsi -> idle UE
   proto::EnbUeId next_ue_id_ = 1;
   bool rrc_sweep_running_ = false;
+  /// OverloadStart pacing state: initials arriving before the deadline are
+  /// spread overload_pace apart on a shared grid.
+  Time mme_backoff_until_ = Time::zero();
+  Time next_paced_slot_ = Time::zero();
+  std::uint64_t paced_initials_ = 0;
   std::uint64_t paging_hits_ = 0;
   std::uint64_t rrc_releases_ = 0;
 };

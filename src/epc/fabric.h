@@ -40,6 +40,21 @@ struct TransportConfig {
   double rto_backoff = 2.0;                    ///< exponential backoff factor
   Duration rto_max = Duration::ms(4000.0);     ///< backoff cap
   std::uint32_t max_retransmits = 8;           ///< then the send is abandoned
+
+  /// Worst-case span between first transmission and abandonment: the sum of
+  /// every (capped) RTO the shim would wait through. Timers an overload
+  /// governor stretches (e.g. deferred paging) must stay inside this window
+  /// or the deferred message could outlive its own retransmissions.
+  [[nodiscard]] Duration retry_horizon() const {
+    Duration horizon = Duration::zero();
+    Duration rto = rto_initial;
+    for (std::uint32_t i = 0; i < max_retransmits; ++i) {
+      horizon = horizon + rto;
+      rto = rto * rto_backoff;
+      if (rto > rto_max) rto = rto_max;
+    }
+    return horizon;
+  }
 };
 
 class Endpoint {

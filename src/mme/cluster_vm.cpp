@@ -38,6 +38,7 @@ ClusterVm::ClusterVm(epc::Fabric& fabric, Config cfg)
                      return paging_fn_ ? paging_fn_(tac)
                                        : std::vector<NodeId>{};
                    },
+               .paging_defer = [this] { return paging_defer_hint(); },
                .admission = nullptr,
                .after_procedure =
                    [this](UeContext& ctx, proto::ProcedureType type) {
@@ -82,11 +83,7 @@ void ClusterVm::report_load() {
   if (lb_ != 0) {
     proto::LoadReport report;
     report.mmp_node = node_;
-    // Load score: utilization plus queued seconds of work. Utilization
-    // alone saturates at 1.0, which would make every overloaded VM look
-    // identical to the LB; the backlog term keeps ordering meaningful
-    // (deeper queue = higher score) exactly when balancing matters most.
-    report.cpu_util = util_.utilization() + cpu_.backlog().to_sec();
+    report.cpu_util = load_score();
     report.active_devices = static_cast<std::uint32_t>(
         app_.store().count(ContextRole::kMaster));
     // Unreliable by design: a lost report is superseded by the next one;
@@ -182,6 +179,14 @@ void ClusterVm::on_idle_transition(UeContext& ctx) { (void)ctx; }
 void ClusterVm::on_detach(UeContext& ctx) { (void)ctx; }
 
 void ClusterVm::on_state_adopted(UeContext& ctx) { (void)ctx; }
+
+double ClusterVm::load_score() const {
+  // Utilization plus queued seconds of work. Utilization alone saturates at
+  // 1.0, which would make every overloaded VM look identical to the LB; the
+  // backlog term keeps ordering meaningful (deeper queue = higher score)
+  // exactly when balancing matters most.
+  return util_.utilization() + cpu_.backlog().to_sec();
+}
 
 void ClusterVm::send_via_lb(NodeId target, proto::Pdu inner) {
   if (failed_) return;  // a crashed VM stops talking mid-sentence

@@ -97,6 +97,14 @@ class ClusterVm : public epc::Endpoint {
   /// reassignment). SCALE's MMP re-establishes the replica from here.
   virtual void on_state_adopted(UeContext& ctx);
 
+  /// Load figure advertised in LoadReports. The MMP overrides it to fold in
+  /// the overload governor's pressure band so the MLB steers away early.
+  virtual double load_score() const;
+
+  /// Extra delay to apply before paging fan-out (zero = page immediately).
+  /// The MMP overrides it to stretch paging under overload pressure.
+  virtual Duration paging_defer_hint() const { return Duration::zero(); }
+
   /// Send a standard-interface PDU out through the LB.
   void send_via_lb(NodeId target, proto::Pdu inner);
   /// Send a cluster message directly to another VM.

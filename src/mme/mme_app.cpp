@@ -638,19 +638,39 @@ void MmeApp::handle_s11(const proto::S11Message& msg) {
             proto::DownlinkDataNotificationAck ack;
             ack.sgw_teid = c->rec.sgw_teid;
             hooks_.to_sgw(*c, proto::S11Message{ack});
-            if (!hooks_.paging_enbs) return;
-            proto::Paging page;
-            page.m_tmsi = c->rec.guti.m_tmsi;
-            page.tac = c->rec.tac;
-            for (NodeId enb : hooks_.paging_enbs(c->rec.tac))
-              hooks_.to_enb(enb, proto::S1apMessage{page});
-            ++counters_.pagings_sent;
+            // Under overload pressure the governor stretches the paging
+            // fan-out: the S-GW is acked immediately (it would retransmit
+            // otherwise) but the radio-side page waits out the deferral.
+            const Duration defer =
+                hooks_.paging_defer ? hooks_.paging_defer() : Duration::zero();
+            if (defer > Duration::zero()) {
+              ++counters_.pagings_deferred;
+              engine_.after(defer, [this, key]() {
+                UeContext* ctx2 = ctx_of(key);
+                // Skip the page if the device woke on its own meanwhile.
+                if (ctx2 != nullptr && !ctx2->rec.active) page_ue(key);
+              });
+              return;
+            }
+            page_ue(key);
           });
         } else {
           SCALE_DEBUG("MME ignoring S11 message");
         }
       },
       msg);
+}
+
+void MmeApp::page_ue(std::uint64_t key) {
+  UeContext* c = ctx_of(key);
+  if (c == nullptr) return;
+  if (!hooks_.paging_enbs) return;
+  proto::Paging page;
+  page.m_tmsi = c->rec.guti.m_tmsi;
+  page.tac = c->rec.tac;
+  for (NodeId enb : hooks_.paging_enbs(c->rec.tac))
+    hooks_.to_enb(enb, proto::S1apMessage{page});
+  ++counters_.pagings_sent;
 }
 
 // ----------------------------------------------------- state administration

@@ -46,6 +46,9 @@ struct MmeAppHooks {
   /// eNodeBs to page for a tracking area (optional; paging skipped if
   /// unset).
   std::function<std::vector<NodeId>(proto::Tac)> paging_enbs;
+  /// Extra delay before the paging fan-out (optional; zero/unset pages
+  /// immediately). Overload governors stretch paging retries through this.
+  std::function<Duration()> paging_defer;
   /// Admission gate, called before processing an InitialUeMessage. Return
   /// false if the host consumed the request (e.g. 3GPP overload redirect).
   std::function<bool(NodeId enb, const proto::InitialUeMessage&,
@@ -90,6 +93,7 @@ class MmeApp {
     std::uint64_t unknown_context = 0;
     std::uint64_t rejects_sent = 0;
     std::uint64_t pagings_sent = 0;
+    std::uint64_t pagings_deferred = 0;
     std::uint64_t idle_transitions = 0;
   };
 
@@ -124,6 +128,10 @@ class MmeApp {
   bool has_transaction(std::uint64_t guti_key) const {
     return txns_.count(guti_key) > 0;
   }
+
+  /// Number of procedure transactions currently in flight (an overload
+  /// pressure signal: each holds context + timers until it completes).
+  std::size_t in_flight() const { return txns_.size(); }
 
  private:
   struct Txn {
@@ -167,6 +175,7 @@ class MmeApp {
   void arm_inactivity(UeContext& ctx);
   void disarm_inactivity(UeContext& ctx);
   void inactivity_fired(std::uint64_t key);
+  void page_ue(std::uint64_t key);
   void finish_procedure(std::uint64_t key, proto::ProcedureType type);
   proto::MmeUeId next_mme_ue_id();
   proto::Teid next_teid();

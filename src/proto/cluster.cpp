@@ -280,6 +280,8 @@ void OverloadReject::encode(ByteWriter& w) const {
   w.u32(origin);
   guti.encode(w);
   w.u64(backoff_us);
+  w.u8(procedure);
+  w.u8(level);
   encode_boxed(inner, w);
 }
 
@@ -289,6 +291,8 @@ OverloadReject OverloadReject::decode(ByteReader& r) {
   m.origin = r.u32();
   m.guti = Guti::decode(r);
   m.backoff_us = r.u64();
+  m.procedure = r.u8();
+  m.level = r.u8();
   m.inner = decode_boxed(r);
   return m;
 }

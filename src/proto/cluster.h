@@ -286,6 +286,8 @@ struct OverloadReject {
   std::uint32_t origin = 0;        ///< external node awaiting a reply
   Guti guti;
   std::uint64_t backoff_us = 0;    ///< steer-away hint for the MLB
+  std::uint8_t procedure = 0;      ///< ProcedureType of the shed request
+  std::uint8_t level = 0;          ///< governor PressureLevel (0 = binary)
   PduRef inner;                    ///< the shed request, for re-steering
 
   void encode(ByteWriter& w) const;

@@ -155,6 +155,18 @@ PathSwitchAck PathSwitchAck::decode(ByteReader& r) {
   return m;
 }
 
+void OverloadStart::encode(ByteWriter& w) const {
+  w.u8(level);
+  w.u64(window_us);
+}
+
+OverloadStart OverloadStart::decode(ByteReader& r) {
+  OverloadStart m;
+  m.level = r.u8();
+  m.window_us = r.u64();
+  return m;
+}
+
 void encode_s1ap(const S1apMessage& msg, ByteWriter& w) {
   std::visit(
       [&w](const auto& m) {
@@ -182,6 +194,7 @@ S1apMessage decode_s1ap(ByteReader& r) {
     case S1apType::kPaging: return Paging::decode(r);
     case S1apType::kPathSwitchRequest: return PathSwitchRequest::decode(r);
     case S1apType::kPathSwitchAck: return PathSwitchAck::decode(r);
+    case S1apType::kOverloadStart: return OverloadStart::decode(r);
   }
   throw CodecError("unknown S1AP type " +
                    std::to_string(static_cast<int>(type)));
@@ -209,8 +222,10 @@ const char* s1ap_name(const S1apMessage& msg) {
           return "Paging";
         else if constexpr (std::is_same_v<T, PathSwitchRequest>)
           return "PathSwitchRequest";
-        else
+        else if constexpr (std::is_same_v<T, PathSwitchAck>)
           return "PathSwitchAck";
+        else
+          return "OverloadStart";
       },
       msg);
 }

@@ -28,6 +28,7 @@ enum class S1apType : std::uint8_t {
   kPaging = 8,
   kPathSwitchRequest = 9,
   kPathSwitchAck = 10,
+  kOverloadStart = 11,
 };
 
 /// eNB → MME. Carries the first NAS message of a transaction plus the
@@ -158,11 +159,23 @@ struct PathSwitchAck {
   [[nodiscard]] static PathSwitchAck decode(ByteReader& r);
 };
 
+/// MME → eNB (the 3GPP S1AP OVERLOAD START analogue): the core is under
+/// pressure — pace new Initial UE messages for `window_us` of sim time.
+/// Advisory and idempotent; a fresh signal extends the window.
+struct OverloadStart {
+  static constexpr S1apType kType = S1apType::kOverloadStart;
+  std::uint8_t level = 0;       ///< pressure band that tripped the signal
+  std::uint64_t window_us = 0;  ///< pacing-window length
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static OverloadStart decode(ByteReader& r);
+};
+
 using S1apMessage =
     std::variant<InitialUeMessage, UplinkNasTransport, DownlinkNasTransport,
                  InitialContextSetupRequest, InitialContextSetupResponse,
                  UeContextReleaseCommand, UeContextReleaseComplete, Paging,
-                 PathSwitchRequest, PathSwitchAck>;
+                 PathSwitchRequest, PathSwitchAck, OverloadStart>;
 
 void encode_s1ap(const S1apMessage& msg, ByteWriter& w);
 [[nodiscard]] S1apMessage decode_s1ap(ByteReader& r);

@@ -104,6 +104,7 @@ void UtilizationTracker::tick() {
     ewma_.update(std::min(1.0, (busy - last_busy_) / wall));
     last_busy_ = busy;
     last_time_ = now;
+    if (hook_) hook_(now, ewma_.value());
   }
   engine_.after(interval_, [this] { tick(); });
 }

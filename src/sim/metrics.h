@@ -90,6 +90,13 @@ class UtilizationTracker {
   /// Current moving-average utilization in [0, 1].
   double utilization() const { return ewma_.value(); }
 
+  /// Invoked after every EWMA update with (sample time, new value). Gives
+  /// overload governors a traffic-independent reassessment point — pressure
+  /// is re-evaluated even when no requests arrive to trigger admission.
+  void set_sample_hook(std::function<void(Time, double)>&& hook) {
+    hook_ = std::move(hook);
+  }
+
   /// Stop sampling (call before destroying the tracked CPU).
   void stop() { stopped_ = true; }
 
@@ -102,6 +109,7 @@ class UtilizationTracker {
   Ewma ewma_;
   Duration last_busy_;
   Time last_time_;
+  std::function<void(Time, double)> hook_;
   bool stopped_ = false;
 };
 

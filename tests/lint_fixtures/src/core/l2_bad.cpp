@@ -1,0 +1,20 @@
+// L2 positive fixture: unannotated iteration over unordered containers in
+// src/core (governor/MLB state lives here). Exactly 2 [L2] findings.
+#include <unordered_map>
+#include <unordered_set>
+
+struct GovernorState {
+  std::unordered_map<int, double> loads_;
+  std::unordered_set<int> backing_off_;
+
+  double hottest() const {
+    double h = 0.0;
+    for (const auto& [node, load] : loads_)  // finding 1: range-for
+      if (load > h) h = load;
+    return h;
+  }
+
+  int any_backoff() const {
+    return *backing_off_.begin();  // finding 2: iterator walk
+  }
+};

@@ -1,0 +1,19 @@
+// L2 negative fixture: sanctioned unordered-container access patterns in
+// src/core, mirroring the MLB's backoff/load maps. Zero findings.
+#include <unordered_map>
+
+struct PressureView {
+  std::unordered_map<int, long> shed_until_;
+
+  bool any_active(long now) const {
+    // lint: order-independent — existence check, no per-visit side effects.
+    for (const auto& [node, until] : shed_until_)
+      if (now < until) return true;
+    return false;
+  }
+
+  long lookup(int node) const {
+    const auto it = shed_until_.find(node);  // point lookup: always fine
+    return it == shed_until_.end() ? 0 : it->second;
+  }
+};

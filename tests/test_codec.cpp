@@ -96,6 +96,26 @@ TEST(Codec, AllS1apMessagesRoundTrip) {
   expect_roundtrip(Paging{0xBEEF, 12});
   expect_roundtrip(PathSwitchRequest{10, 8, MmeUeId::make(3, 1), 12});
   expect_roundtrip(PathSwitchAck{10, 8, MmeUeId::make(3, 1)});
+  expect_roundtrip(OverloadStart{2, 250000});
+}
+
+TEST(Codec, OverloadRejectFieldFidelity) {
+  OverloadReject rej;
+  rej.mmp_node = 4;
+  rej.origin = 9;
+  rej.guti = test_guti();
+  rej.backoff_us = 200000;
+  rej.procedure = 2;  // kTrackingAreaUpdate
+  rej.level = 3;      // kOverload
+  rej.inner = box(make_pdu(Paging{1, 2}));
+  const auto bytes = encode_pdu(make_pdu(ClusterMessage{rej}));
+  const Pdu decoded = decode_pdu(bytes);
+  const auto& back = std::get<OverloadReject>(std::get<ClusterMessage>(decoded));
+  EXPECT_EQ(back.mmp_node, 4u);
+  EXPECT_EQ(back.backoff_us, 200000u);
+  EXPECT_EQ(back.procedure, 2u);
+  EXPECT_EQ(back.level, 3u);
+  ASSERT_NE(back.inner, nullptr);
 }
 
 TEST(Codec, AllS11MessagesRoundTrip) {

@@ -48,7 +48,7 @@ TEST(ScaleLint, FixtureTreeYieldsExactPerRuleCounts) {
   const LintRun r = run_lint(kFixtures + " src bench");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_EQ(r.count("[L1]"), 6u) << r.output;
-  EXPECT_EQ(r.count("[L2]"), 4u) << r.output;
+  EXPECT_EQ(r.count("[L2]"), 6u) << r.output;
   EXPECT_EQ(r.count("[L3]"), 3u) << r.output;
   EXPECT_EQ(r.count("[L4]"), 3u) << r.output;
   EXPECT_EQ(r.count("[L5]"), 2u) << r.output;
@@ -59,6 +59,7 @@ TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
   EXPECT_EQ(r.count("src/sim/l1_bad.cpp"), 6u) << r.output;
   EXPECT_EQ(r.count("src/sim/l2_bad.cpp"), 2u) << r.output;
   EXPECT_EQ(r.count("src/obs/l2_bad.cpp"), 2u) << r.output;
+  EXPECT_EQ(r.count("src/core/l2_bad.cpp"), 2u) << r.output;
   EXPECT_EQ(r.count("src/proto/l3_bad.h"), 3u) << r.output;
   EXPECT_EQ(r.count("src/mme/l4_bad.cpp"), 3u) << r.output;
   EXPECT_EQ(r.count("src/epc/l5_bad.cpp"), 2u) << r.output;
@@ -67,7 +68,8 @@ TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
 TEST(ScaleLint, NegativeFixturesAreCleanAndExitZero) {
   const LintRun r =
       run_lint(kFixtures +
-               " src/common/l1_ok.cpp src/sim/l2_ok.cpp src/proto/l3_ok.h"
+               " src/common/l1_ok.cpp src/sim/l2_ok.cpp src/core/l2_ok.cpp"
+               " src/proto/l3_ok.h"
                " src/mme/l4_ok.cpp src/epc/l5_ok.cpp bench");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_TRUE(r.output.empty()) << r.output;

@@ -148,6 +148,45 @@ TEST_F(ReliableTest, AbandonsAfterMaxRetransmits) {
   EXPECT_EQ(a.rel.retransmits(), fabric.transport().max_retransmits);
 }
 
+TEST_F(ReliableTest, BackoffScheduleIsJitterlessAndCapped) {
+  enable_transport();
+  RelNode a(fabric), b(fabric);
+  net.schedule_link_down(a.node, b.node, Time::zero(),
+                         Time::from_sec(1000.0));
+  a.rel.send(b.node, ping(9));
+
+  // Defaults: 250 ms initial, ×2 backoff, capped at 4 s — the k-th
+  // retransmit fires exactly at the prefix sum 250, 750, 1750, 3750, 7750,
+  // 11750, 15750, 19750 ms. No jitter: the schedule is a pure function of
+  // the config, so stepping just past each boundary observes exactly one
+  // more retransmission.
+  const double kFireMs[] = {250, 750, 1750, 3750, 7750, 11750, 15750, 19750};
+  for (std::size_t k = 0; k < 8; ++k) {
+    engine.run_until(Time::from_sec(kFireMs[k] / 1000.0 - 0.001));
+    EXPECT_EQ(a.rel.retransmits(), k) << "early at boundary " << k;
+    engine.run_until(Time::from_sec(kFireMs[k] / 1000.0 + 0.001));
+    EXPECT_EQ(a.rel.retransmits(), k + 1) << "late at boundary " << k;
+  }
+  // The capped RTO (4 s) runs out once more, then the send is abandoned.
+  engine.run_until(Time::from_sec(100.0));
+  EXPECT_EQ(a.rel.abandoned(), 1u);
+  EXPECT_EQ(a.rel.retransmits(), fabric.transport().max_retransmits);
+}
+
+TEST_F(ReliableTest, RetryHorizonMatchesBackoffSchedule) {
+  // Defaults: 250 + 500 + 1000 + 2000 + 4 × 4000 (capped) = 19750 ms — the
+  // instant of the last retransmission above.
+  EXPECT_EQ(epc::TransportConfig{}.retry_horizon(), Duration::ms(19750.0));
+
+  epc::TransportConfig t;
+  t.rto_initial = Duration::ms(100.0);
+  t.rto_backoff = 3.0;
+  t.rto_max = Duration::ms(500.0);
+  t.max_retransmits = 4;
+  // 100 + 300 + 500 + 500 (capped): the cap binds from the third RTO on.
+  EXPECT_EQ(t.retry_horizon(), Duration::ms(1400.0));
+}
+
 TEST_F(ReliableTest, CrashedSenderStopsRetransmitting) {
   enable_transport();
   RelNode a(fabric), b(fabric);
