@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Static-analysis leg (DESIGN.md §6): ScaleLint + clang-tidy.
+# Static-analysis leg (DESIGN.md §6): ScaleLint + baseline diff + clang-tidy.
 #
-#   leg 1  scale_lint — repo-specific determinism & invariant rules L1–L4
-#          over src/ bench/ tests/ examples/ tools/. Any finding fails.
+#   leg 1  scale_lint — repo-specific determinism, invariant and
+#          shard-readiness rules L1–L8 over src/ bench/ tests/ examples/
+#          tools/. Any finding fails. The run also emits the scale-lint-v1
+#          JSON report, which is diffed against the committed
+#          LINT_baseline.json: a NEW finding or NEW `// lint:` waiver fails
+#          tier-1 even when the exit code alone would not (waivers widen the
+#          audited surface silently otherwise). Re-baseline after review
+#          with scripts/lint_baseline.sh.
 #   leg 2  clang-tidy — the curated .clang-tidy profile over src/, driven by
 #          the compile commands CMake exports. WarningsAsErrors: '*' in the
 #          config gives every diagnostic -Werror semantics. Skipped with a
@@ -17,10 +23,14 @@ BUILD_DIR="${1:-build}"
 JOBS="$(nproc)"
 
 cmake -B "${BUILD_DIR}" -S . >/dev/null
-cmake --build "${BUILD_DIR}" --target scale_lint -j"${JOBS}"
+cmake --build "${BUILD_DIR}" --target scale_lint bench_json_check -j"${JOBS}"
 
-echo "== lint leg 1: scale_lint (rules L1-L4) =="
-"${BUILD_DIR}/tools/lint/scale_lint" --root . src bench tests examples tools
+echo "== lint leg 1: scale_lint (rules L1-L8) =="
+"${BUILD_DIR}/tools/lint/scale_lint" --root . \
+  --json "${BUILD_DIR}/LINT_now.json" src bench tests examples tools
+"${BUILD_DIR}/tools/obs/bench_json_check" --lint "${BUILD_DIR}/LINT_now.json"
+"${BUILD_DIR}/tools/obs/bench_json_check" --compare-lint \
+  LINT_baseline.json "${BUILD_DIR}/LINT_now.json"
 
 echo "== lint leg 2: clang-tidy (curated .clang-tidy profile) =="
 CLANG_TIDY="$(command -v clang-tidy || true)"

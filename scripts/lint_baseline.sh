@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate the committed scale-lint-v1 baseline (LINT_baseline.json).
+#
+# The tier-1 lint leg (scripts/lint.sh) diffs every fresh lint report
+# against this file and fails on NEW findings or NEW `// lint:` waivers —
+# so run this only after reviewing what changed, and commit the result with
+# the change that motivated it (same contract as scripts/bench_baseline.sh
+# for BENCH_core.json).
+#
+# Usage: scripts/lint_baseline.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" --target scale_lint bench_json_check -j"${JOBS}"
+
+# The baseline must itself be a valid, zero-finding report: committing a
+# baseline that waives live findings would defeat the exit-code gate.
+"${BUILD_DIR}/tools/lint/scale_lint" --root . \
+  --json LINT_baseline.json src bench tests examples tools
+"${BUILD_DIR}/tools/obs/bench_json_check" --lint LINT_baseline.json
+
+echo "lint-baseline: wrote LINT_baseline.json — review the waiver inventory"
+echo "lint-baseline: diff before committing:  git diff LINT_baseline.json"

@@ -12,8 +12,10 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
-# Lint leg (DESIGN.md §6): ScaleLint rules L1-L4 over the tree, then
-# clang-tidy via the exported compile commands. Any finding fails tier-1.
+# Lint leg (DESIGN.md §6): ScaleLint rules L1-L8 over the tree — emitting
+# the scale-lint-v1 report and diffing it against the committed
+# LINT_baseline.json, so NEW findings and NEW waivers fail tier-1 (not just
+# nonzero exits) — then clang-tidy via the exported compile commands.
 scripts/lint.sh build
 
 # Bench-smoke leg (DESIGN.md "Observability"): one cheap bench emits its

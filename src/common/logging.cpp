@@ -8,7 +8,8 @@ namespace scale {
 
 namespace {
 LogLevel level_from_env() {
-  const char* env = std::getenv("SCALE_LOG");
+  // Read once, before main() spawns anything — no env mutation ever races.
+  const char* env = std::getenv("SCALE_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return LogLevel::kWarn;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;

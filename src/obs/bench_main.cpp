@@ -17,7 +17,8 @@ namespace {
                "  --trace <path>  write a Chrome trace_event JSON of the "
                "run\n",
                prog);
-  std::exit(code);
+  // Called during single-threaded argv parsing, before any bench work.
+  std::exit(code);  // NOLINT(concurrency-mt-unsafe)
 }
 
 // --help must exit before the Report constructor prints the banner.

@@ -274,4 +274,146 @@ std::vector<std::string> validate_bench_json(const Json& doc) {
   return problems;
 }
 
+std::vector<std::string> validate_lint_json(const Json& doc) {
+  std::vector<std::string> problems;
+  if (!doc.is_object()) {
+    problems.push_back("document is not a JSON object");
+    return problems;
+  }
+  const Json* schema = doc.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "scale-lint-v1") {
+    problems.push_back("schema must be the string \"scale-lint-v1\"");
+  }
+  if (const Json* tool = doc.find("tool");
+      !tool || !tool->is_string() || tool->as_string() != "scale_lint")
+    problems.push_back("tool must be the string \"scale_lint\"");
+
+  auto expect_count = [&](const Json* obj, const char* key,
+                          const std::string& at) -> std::int64_t {
+    const Json* v = obj ? obj->find(key) : nullptr;
+    if (!v || v->type() != Json::Type::kInt || v->as_int() < 0) {
+      problems.push_back(at + "." + key + " must be a non-negative integer");
+      return -1;
+    }
+    return v->as_int();
+  };
+
+  const Json* scanned = doc.find("scanned");
+  if (!scanned || !scanned->is_object()) {
+    problems.push_back("scanned must be an object");
+  } else {
+    expect_count(scanned, "files", "scanned");
+    expect_count(scanned, "include_edges", "scanned");
+    expect_count(scanned, "globals_indexed", "scanned");
+  }
+
+  const Json* counts = doc.find("counts");
+  std::int64_t declared_findings = -1;
+  std::int64_t declared_waivers = -1;
+  std::int64_t by_rule_sum = -1;
+  if (!counts || !counts->is_object()) {
+    problems.push_back("counts must be an object");
+  } else {
+    declared_findings = expect_count(counts, "findings", "counts");
+    declared_waivers = expect_count(counts, "waivers", "counts");
+    const Json* by_rule = counts->find("by_rule");
+    if (!by_rule || !by_rule->is_object()) {
+      problems.push_back("counts.by_rule must be an object");
+    } else {
+      by_rule_sum = 0;
+      for (int r = 1; r <= 8; ++r) {
+        const std::string rule = "L" + std::to_string(r);
+        const std::int64_t n =
+            expect_count(by_rule, rule.c_str(), "counts.by_rule");
+        if (n >= 0) by_rule_sum += n;
+      }
+      if (by_rule->members().size() != 8)
+        problems.push_back("counts.by_rule must hold exactly L1..L8");
+    }
+  }
+
+  const Json* findings = doc.find("findings");
+  if (!findings || !findings->is_array()) {
+    problems.push_back("findings must be an array");
+  } else {
+    std::size_t fi = 0;
+    std::string prev_key;
+    for (const auto& f : findings->elements()) {
+      const std::string at = "findings[" + std::to_string(fi++) + "]";
+      if (!f.is_object()) {
+        problems.push_back(at + " is not an object");
+        continue;
+      }
+      for (const char* key : {"file", "rule", "message"}) {
+        const Json* v = f.find(key);
+        if (!v || !v->is_string() || v->as_string().empty())
+          problems.push_back(at + "." + key + " must be a non-empty string");
+      }
+      if (const Json* line = f.find("line");
+          !line || line->type() != Json::Type::kInt || line->as_int() < 1)
+        problems.push_back(at + ".line must be a positive integer");
+      if (const Json* rule = f.find("rule"); rule && rule->is_string()) {
+        const std::string& r = rule->as_string();
+        if (r.size() != 2 || r[0] != 'L' || r[1] < '1' || r[1] > '8')
+          problems.push_back(at + ".rule must be one of L1..L8");
+      }
+      // Determinism contract: findings sort by (file, line, rule).
+      const Json* file = f.find("file");
+      const Json* line = f.find("line");
+      const Json* rule = f.find("rule");
+      if (file && file->is_string() && line &&
+          line->type() == Json::Type::kInt && rule && rule->is_string()) {
+        char lbuf[24];
+        std::snprintf(lbuf, sizeof(lbuf), "%012lld",
+                      static_cast<long long>(line->as_int()));
+        const std::string key =
+            file->as_string() + "\x01" + lbuf + "\x01" + rule->as_string();
+        if (!prev_key.empty() && key < prev_key)
+          problems.push_back(at + " breaks (file, line, rule) sort order");
+        prev_key = key;
+      }
+    }
+    if (declared_findings >= 0 &&
+        declared_findings != static_cast<std::int64_t>(fi))
+      problems.push_back("counts.findings does not match findings[] length");
+    if (by_rule_sum >= 0 && by_rule_sum != static_cast<std::int64_t>(fi))
+      problems.push_back("counts.by_rule does not sum to findings[] length");
+  }
+
+  const Json* waivers = doc.find("waivers");
+  if (!waivers || !waivers->is_array()) {
+    problems.push_back("waivers must be an array");
+  } else {
+    std::size_t wi = 0;
+    for (const auto& w : waivers->elements()) {
+      const std::string at = "waivers[" + std::to_string(wi++) + "]";
+      if (!w.is_object()) {
+        problems.push_back(at + " is not an object");
+        continue;
+      }
+      if (const Json* file = w.find("file");
+          !file || !file->is_string() || file->as_string().empty())
+        problems.push_back(at + ".file must be a non-empty string");
+      if (const Json* line = w.find("line");
+          !line || line->type() != Json::Type::kInt || line->as_int() < 1)
+        problems.push_back(at + ".line must be a positive integer");
+      const Json* kind = w.find("kind");
+      if (!kind || !kind->is_string() ||
+          (kind->as_string() != "order-independent" &&
+           kind->as_string() != "by-value-ok" &&
+           kind->as_string() != "shard-local" &&
+           kind->as_string() != "shard-shared"))
+        problems.push_back(at + ".kind must be a known waiver kind");
+      if (const Json* reason = w.find("reason"); !reason || !reason->is_string())
+        problems.push_back(at + ".reason must be a string");
+    }
+    if (declared_waivers >= 0 &&
+        declared_waivers != static_cast<std::int64_t>(wi))
+      problems.push_back("counts.waivers does not match waivers[] length");
+  }
+
+  return problems;
+}
+
 }  // namespace scale::obs

@@ -92,4 +92,11 @@ class Report {
 /// in-tree `bench_json_check` tool that tier1.sh runs.
 [[nodiscard]] std::vector<std::string> validate_bench_json(const Json& doc);
 
+/// Validate a parsed document against the "scale-lint-v1" schema emitted by
+/// `scale_lint --json` (DESIGN.md §6): findings + waiver inventory with
+/// internally consistent counts, sorted deterministically. Shared by tests
+/// and the `bench_json_check --lint` / `--compare-lint` modes that gate
+/// tier-1 on the committed LINT_baseline.json.
+[[nodiscard]] std::vector<std::string> validate_lint_json(const Json& doc);
+
 }  // namespace scale::obs

@@ -88,6 +88,10 @@ class Tracer {
   std::map<Track, std::string> track_names_;
   std::map<Track, std::size_t> open_;
 
+  // Process-global sink pointer: install/detach happen only in
+  // single-threaded bench/test setup; instrumentation sites only read it.
+  // ShardedSim must swap this for a per-shard tracer slot.
+  // lint: shard-shared(read-only after single-threaded install)
   inline static Tracer* current_ = nullptr;
 };
 

@@ -1,0 +1,7 @@
+// Rule L7 is scoped to src/ — the same back-edges that fail in
+// src/epc/l7_bad.cpp are fine under bench/ (drivers, tests and tools may
+// reach into any layer). 0 findings expected in this file.
+#include "core/mmp.h"
+#include "mme/cluster_vm.h"
+
+int main() { return 0; }

@@ -1,0 +1,29 @@
+// Rule L6 negative fixtures — 0 findings expected in this file.
+//
+// Immutable globals are not audited (nothing can race on them), and both
+// waiver kinds — shard-local with a rationale, shard-shared with a reason —
+// are accepted on the declaration line or in the comment block above it.
+namespace scale::core {
+
+constexpr int kMaxShards = 64;      // constexpr: immutable, not audited
+const char* const kName = "shard";  // const: immutable, not audited
+
+// lint: shard-shared(written once by the driver before any shard starts)
+int g_config_epoch = 0;
+
+class Pool {
+ public:
+  static Pool& local() {
+    // lint: shard-local — thread_local: one pool per worker thread, so
+    // pooled storage never crosses a shard boundary.
+    static thread_local Pool pool;
+    return pool;
+  }
+};
+
+inline int ticket() {
+  static int next = 0;  // lint: shard-local — driver-thread-only counter
+  return ++next;
+}
+
+}  // namespace scale::core

@@ -1,0 +1,18 @@
+// Rule L7 negative fixture — 0 findings expected in this file.
+//
+// core is the topmost single layer: it may include every layer below it,
+// mme included (core::MmpNode derives from mme::ClusterVm in the real
+// tree — that edge is why mme ranks below core in the declared DAG).
+#include "mme/cluster_vm.h"
+#include "epc/fabric.h"
+#include "sim/engine.h"
+#include "obs/trace.h"
+#include "proto/s1ap.h"
+#include "hash/ring.h"
+#include "common/time.h"
+
+namespace scale::core {
+
+inline int noop() { return 0; }
+
+}  // namespace scale::core

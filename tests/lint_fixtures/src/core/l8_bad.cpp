@@ -1,0 +1,24 @@
+// Rule L8 fixtures — 4 findings expected in this file (one per sub-check).
+#include <mutex>
+
+namespace scale::core {
+
+class BadAnnotations {
+ public:
+  void put(int v);
+
+ private:
+  // finding (L8d): no SCALE_* annotation anywhere references this mutex,
+  // so whatever it guards is guarded by convention only.
+  std::mutex lonely_mu_;
+
+  // finding (L8a): raw clang attribute spelling instead of the SCALE_ macro.
+  int raw_ __attribute__((guarded_by(lonely_mu_)));
+
+  // findings (L8b + L8c): a SCALE_ macro used without
+  // "common/thread_annotations.h" in the include closure, guarding a
+  // capability no declaration in this file introduces.
+  int phantom_ SCALE_GUARDED_BY(ghost_mu_);
+};
+
+}  // namespace scale::core

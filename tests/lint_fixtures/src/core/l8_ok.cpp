@@ -1,0 +1,21 @@
+// Rule L8 negative fixture — 0 findings expected in this file.
+//
+// The contract satisfied end to end: macros reach the canonical header
+// through the include closure, every guard names a capability declared in
+// this file, and the mutex is referenced by at least one annotation.
+#include "common/thread_annotations.h"
+
+namespace scale::core {
+
+class GuardedCounter {
+ public:
+  void bump() SCALE_REQUIRES(mu_) { ++count_; }
+  void lock() SCALE_ACQUIRE(mu_) { mu_.lock(); }
+  void unlock() SCALE_RELEASE(mu_) { mu_.unlock(); }
+
+ private:
+  common::Mutex mu_;
+  int count_ SCALE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace scale::core

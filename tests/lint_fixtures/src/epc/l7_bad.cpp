@@ -1,0 +1,14 @@
+// Rule L7 fixtures — 2 findings expected in this file.
+//
+// epc ranks below mme and core in the declared DAG (DESIGN.md §6), so both
+// includes are back-edges; the sim and common includes are legal.
+#include "core/mmp.h"        // finding 1: core ranks above epc
+#include "mme/cluster_vm.h"  // finding 2: mme ranks above epc
+#include "sim/engine.h"      // legal: sim ranks below epc
+#include "common/time.h"     // legal: common is the bottom layer
+
+namespace scale::epc {
+
+inline int noop() { return 0; }
+
+}  // namespace scale::epc

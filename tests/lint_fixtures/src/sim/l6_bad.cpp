@@ -1,0 +1,28 @@
+// Rule L6 fixtures — 5 findings expected in this file.
+//
+// One of each flavor of mutable global the indexer surfaces: namespace
+// scope, class-static member, function-local static, unannotated
+// thread_local, and a shard-shared waiver with an empty reason (a waiver
+// that explains nothing is itself a finding).
+namespace scale::sim {
+
+int g_event_count = 0;  // finding 1: namespace-scope mutable variable
+
+class Registry {
+ public:
+  static int next_id();
+
+ private:
+  inline static int live_ = 0;  // finding 2: mutable class-static member
+};
+
+inline int bump() {
+  static int calls = 0;                  // finding 3: function-local static
+  static thread_local int scratch = 0;   // finding 4: unannotated thread_local
+  return ++calls + scratch;
+}
+
+// lint: shard-shared()
+int g_flag = 0;  // finding 5: shard-shared waiver without a reason
+
+}  // namespace scale::sim

@@ -10,7 +10,12 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
 
 namespace {
 
@@ -52,6 +57,9 @@ TEST(ScaleLint, FixtureTreeYieldsExactPerRuleCounts) {
   EXPECT_EQ(r.count("[L3]"), 3u) << r.output;
   EXPECT_EQ(r.count("[L4]"), 3u) << r.output;
   EXPECT_EQ(r.count("[L5]"), 2u) << r.output;
+  EXPECT_EQ(r.count("[L6]"), 5u) << r.output;
+  EXPECT_EQ(r.count("[L7]"), 2u) << r.output;
+  EXPECT_EQ(r.count("[L8]"), 4u) << r.output;
 }
 
 TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
@@ -63,6 +71,9 @@ TEST(ScaleLint, PositiveFixturesFlagTheRightFiles) {
   EXPECT_EQ(r.count("src/proto/l3_bad.h"), 3u) << r.output;
   EXPECT_EQ(r.count("src/mme/l4_bad.cpp"), 3u) << r.output;
   EXPECT_EQ(r.count("src/epc/l5_bad.cpp"), 2u) << r.output;
+  EXPECT_EQ(r.count("src/sim/l6_bad.cpp"), 5u) << r.output;
+  EXPECT_EQ(r.count("src/epc/l7_bad.cpp"), 2u) << r.output;
+  EXPECT_EQ(r.count("src/core/l8_bad.cpp"), 4u) << r.output;
 }
 
 TEST(ScaleLint, NegativeFixturesAreCleanAndExitZero) {
@@ -70,9 +81,28 @@ TEST(ScaleLint, NegativeFixturesAreCleanAndExitZero) {
       run_lint(kFixtures +
                " src/common/l1_ok.cpp src/sim/l2_ok.cpp src/core/l2_ok.cpp"
                " src/proto/l3_ok.h"
-               " src/mme/l4_ok.cpp src/epc/l5_ok.cpp bench");
+               " src/mme/l4_ok.cpp src/epc/l5_ok.cpp"
+               " src/core/l6_ok.cpp src/core/l7_ok.cpp src/core/l8_ok.cpp"
+               " bench");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+TEST(ScaleLint, ShardWaiversAreAcceptedWithRationale) {
+  // l6_ok.cpp holds one of each waiver placement: same-line shard-local,
+  // comment-block shard-local, and shard-shared with a reason. None may
+  // fire; the reason-less shard-shared() in l6_bad.cpp must.
+  const LintRun ok = run_lint(kFixtures + " src/core/l6_ok.cpp");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  const LintRun bad = run_lint(kFixtures + " src/sim/l6_bad.cpp");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_EQ(bad.count("waiver needs a reason"), 1u) << bad.output;
+}
+
+TEST(ScaleLint, LayeringIsScopedToSrc) {
+  // The same back-edge includes that fail under src/epc pass under bench/.
+  const LintRun r = run_lint(kFixtures + " bench/l7_scope_ok.cpp");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
 TEST(ScaleLint, OutOfScopeIterationIsNotFlagged) {
@@ -94,6 +124,131 @@ TEST(ScaleLint, RealTreeIsClean) {
                " src bench tests examples tools");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+// ---------------------------------------------------- scale-lint-v1 report
+
+/// Run the bench_json_check binary (validator / baseline-compare modes).
+LintRun run_json_check(const std::string& args) {
+  const std::string cmd =
+      std::string(SCALE_JSON_CHECK_BIN) + " " + args + " 2>/dev/null";
+  LintRun r;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot spawn: " << cmd;
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string tmp_json(const char* name) {
+  return testing::TempDir() + "scale_lint_test_" + name + ".json";
+}
+
+TEST(ScaleLintJson, TwoRunsAreByteIdentical) {
+  const std::string a = tmp_json("run_a");
+  const std::string b = tmp_json("run_b");
+  const LintRun r1 = run_lint(kFixtures + " --json " + a + " src bench");
+  const LintRun r2 = run_lint(kFixtures + " --json " + b + " src bench");
+  EXPECT_EQ(r1.exit_code, 1);
+  EXPECT_EQ(r2.exit_code, 1);
+  const std::string doc_a = slurp(a);
+  const std::string doc_b = slurp(b);
+  ASSERT_FALSE(doc_a.empty());
+  EXPECT_EQ(doc_a, doc_b) << "scale-lint-v1 output must be deterministic";
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(ScaleLintJson, ReportValidatesAndCountsMatchFixtures) {
+  const std::string path = tmp_json("counts");
+  run_lint(kFixtures + " --json " + path + " src bench");
+  const auto doc = scale::obs::Json::parse(slurp(path));
+  std::remove(path.c_str());
+  ASSERT_TRUE(doc.has_value());
+  const auto problems = scale::obs::validate_lint_json(*doc);
+  for (const auto& p : problems) ADD_FAILURE() << p;
+  EXPECT_EQ(doc->find("schema")->as_string(), "scale-lint-v1");
+  const auto* by_rule = doc->find("counts")->find("by_rule");
+  EXPECT_EQ(by_rule->find("L1")->as_int(), 6);
+  EXPECT_EQ(by_rule->find("L2")->as_int(), 6);
+  EXPECT_EQ(by_rule->find("L3")->as_int(), 3);
+  EXPECT_EQ(by_rule->find("L4")->as_int(), 3);
+  EXPECT_EQ(by_rule->find("L5")->as_int(), 2);
+  EXPECT_EQ(by_rule->find("L6")->as_int(), 5);
+  EXPECT_EQ(by_rule->find("L7")->as_int(), 2);
+  EXPECT_EQ(by_rule->find("L8")->as_int(), 4);
+  EXPECT_EQ(doc->find("counts")->find("findings")->as_int(), 31);
+  // The fixture tree carries waivers too (l2_ok waivers, l6_ok contract).
+  EXPECT_GT(doc->find("counts")->find("waivers")->as_int(), 0);
+}
+
+TEST(ScaleLintJson, RealTreeReportIsCleanAndInventoriesWaivers) {
+  const std::string path = tmp_json("real");
+  const LintRun r =
+      run_lint(std::string("--root ") + SCALE_REPO_ROOT + " --json " + path +
+               " src bench tests examples tools");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const auto doc = scale::obs::Json::parse(slurp(path));
+  ASSERT_TRUE(doc.has_value());
+  const auto problems = scale::obs::validate_lint_json(*doc);
+  for (const auto& p : problems) ADD_FAILURE() << p;
+  EXPECT_EQ(doc->find("findings")->size(), 0u);
+  // The audited singletons (BufferPool::local, block_freelist,
+  // action_block_freelist, Tracer::current_) plus the L2 waivers must all
+  // be inventoried — the report is how a reviewer sees the audit surface.
+  EXPECT_GE(doc->find("waivers")->size(), 10u);
+  bool saw_shard_local = false;
+  bool saw_shard_shared = false;
+  for (const auto& w : doc->find("waivers")->elements()) {
+    if (w.find("kind")->as_string() == "shard-local") saw_shard_local = true;
+    if (w.find("kind")->as_string() == "shard-shared") {
+      saw_shard_shared = true;
+      EXPECT_FALSE(w.find("reason")->as_string().empty())
+          << w.find("file")->as_string();
+    }
+  }
+  EXPECT_TRUE(saw_shard_local);
+  EXPECT_TRUE(saw_shard_shared);
+  // The validator binary agrees (the tier-1 lint leg runs this mode).
+  const LintRun check = run_json_check("--lint " + path);
+  EXPECT_EQ(check.exit_code, 0) << check.output;
+  std::remove(path.c_str());
+}
+
+TEST(ScaleLintJson, CompareLintFailsOnNewFindingsAndWaivers) {
+  const std::string clean = tmp_json("baseline_clean");
+  const std::string dirty = tmp_json("current_dirty");
+  const std::string waived = tmp_json("current_waived");
+  run_lint(kFixtures + " --json " + clean + " src/core/l7_ok.cpp");
+  run_lint(kFixtures + " --json " + dirty + " src/sim/l6_bad.cpp");
+  run_lint(kFixtures + " --json " + waived + " src/core/l6_ok.cpp");
+
+  // Identical reports: gate passes.
+  EXPECT_EQ(run_json_check("--compare-lint " + clean + " " + clean).exit_code,
+            0);
+  // New findings: gate fails.
+  EXPECT_EQ(run_json_check("--compare-lint " + clean + " " + dirty).exit_code,
+            1);
+  // Zero findings both sides, but NEW waivers: gate still fails — a waiver
+  // silently widening the audited surface needs baseline review.
+  EXPECT_EQ(run_json_check("--compare-lint " + clean + " " + waived).exit_code,
+            1);
+  // Findings/waivers *disappearing* is fine (the tree got cleaner).
+  EXPECT_EQ(run_json_check("--compare-lint " + dirty + " " + clean).exit_code,
+            0);
+  std::remove(clean.c_str());
+  std::remove(dirty.c_str());
+  std::remove(waived.c_str());
 }
 
 }  // namespace

@@ -1,10 +1,14 @@
-// ScaleLint — repo-specific determinism & invariant linter.
+// ScaleLint — repo-specific determinism, invariant & shard-readiness linter.
 //
 // The simulator's whole evidentiary value rests on same-seed runs replaying
 // byte-identically (DESIGN.md §6). The classic regressions — emitting events
 // from an unordered_map walk, reading the wall clock, seeding an RNG from
 // entropy — compile fine, pass most tests, and silently break replay. This
-// tool makes them build failures instead of review findings.
+// tool makes them build failures instead of review findings. Since PR 7 it
+// also proves the tree *shard-clean* ahead of ShardedSim (ROADMAP item 1):
+// hidden process-global mutable state and cross-layer include back-edges are
+// exactly what breaks determinism the day one engine shard per DC lands on
+// its own worker thread.
 //
 // It is deliberately a *lexer*, not a compiler plugin: comments and string
 // literals are blanked (preserving line/column structure) and the rules match
@@ -12,6 +16,15 @@
 // to run on every tier-1 invocation, and honest about what it can see — the
 // rules are scoped (by path and by declared-name tracking) so the lexical
 // approximation stays on the zero-false-positive side.
+//
+// Since the shard-readiness rules need *project* knowledge (include edges,
+// the global-state inventory), the tool runs two passes:
+//   pass 1  index every file: quoted #include edges, plus — in the
+//           shard-audited dirs — every symbol declared at namespace scope or
+//           with static/thread_local storage, and every `// lint:` waiver.
+//   pass 2  enforce the rules below against the per-file lex *and* the
+//           project-wide index (L7 walks the include graph, L8 resolves
+//           transitive includes for the annotation contract).
 //
 // Rules (see DESIGN.md §6 for the contract):
 //   L1  nondeterminism sources: std::rand/srand, wall-clock reads (time(),
@@ -33,6 +46,37 @@
 //       template. Named parameters only (the declarator grammar is
 //       ambiguous with template-argument lists otherwise); waive with
 //       `// lint: by-value-ok` on the line or the line above.
+//   L6  shared-mutable-state audit (src/sim, src/core, src/epc, src/mme,
+//       src/proto, src/obs): every namespace-scope variable and every
+//       static/thread_local variable (class-static members and
+//       function-local statics included) that is not const/constexpr must
+//       carry `// lint: shard-local` (confined to one shard/worker thread)
+//       or `// lint: shard-shared(<reason>)` (deliberately process-global)
+//       on its line or the line above. Unannotated globals are exactly the
+//       state ShardedSim would silently share across workers.
+//   L7  layering DAG over src/ quoted includes. Declared order (a layer may
+//       include itself and anything of strictly lower rank):
+//           common < hash < proto < obs < sim < epc < mme < core
+//                  < {workload, testbed, analysis}
+//       The top tier are peers and may not include each other. Note the
+//       declared order follows the tree's real topology — obs is the
+//       substrate everything instruments against (sim includes obs, never
+//       the reverse) and core's MmpNode derives from mme::ClusterVm, so mme
+//       sits below core. Any edge violating the order fails, closing the
+//       door on cross-shard back-references before threads exist.
+//   L8  thread-annotation contract for src/common/thread_annotations.h:
+//       (a) raw clang thread-safety __attribute__ spellings outside that
+//       header are banned (use the SCALE_* macros); (b) a file using a
+//       SCALE_* thread-safety macro must reach the header through its
+//       include closure; (c) SCALE_GUARDED_BY/SCALE_PT_GUARDED_BY must name
+//       a capability declared in the same file; (d) a declared mutex with no
+//       SCALE_* annotation referencing it guards nothing the analyzer can
+//       see — state guarded by convention is invisible to -Wthread-safety.
+//
+// `--json FILE` additionally writes a deterministic "scale-lint-v1" report
+// (findings, waiver inventory, index counts) via obs::Json; tier-1 diffs it
+// against the committed LINT_baseline.json (bench_json_check --compare-lint)
+// so *new* findings and *new* waivers fail the gate, not just nonzero exits.
 //
 // Exit status: 0 when clean, 1 when any finding, 2 on usage/IO errors.
 #include <algorithm>
@@ -48,6 +92,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace fs = std::filesystem;
 
 namespace {
@@ -55,7 +101,7 @@ namespace {
 struct Finding {
   std::string file;  // root-relative path
   std::size_t line = 0;
-  std::string rule;  // "L1".."L5"
+  std::string rule;  // "L1".."L8"
   std::string message;
 };
 
@@ -247,10 +293,430 @@ bool in_l5_scope(const std::string& rel) {
          starts_with(rel, "src/epc/") || starts_with(rel, "src/mme/");
 }
 
+/// Shard-audited dirs for rule L6: everything a future engine shard touches
+/// on its hot path. common/ is deliberately out (logging/time bridging are
+/// sanctioned process singletons); workload/testbed/analysis run pre/post
+/// simulation on the driver thread.
+bool in_l6_scope(const std::string& rel) {
+  return starts_with(rel, "src/sim/") || starts_with(rel, "src/core/") ||
+         starts_with(rel, "src/epc/") || starts_with(rel, "src/mme/") ||
+         starts_with(rel, "src/proto/") || starts_with(rel, "src/obs/");
+}
+
 bool l1_exempt(const std::string& rel) {
   // The simulation clock wrapper is the one sanctioned home for any future
   // real-clock bridging; everything else must go through it.
   return rel == "src/common/time.h";
+}
+
+/// The canonical home of the SCALE_* thread-safety macros (rule L8).
+constexpr const char* kThreadAnnotationsHeader = "src/common/thread_annotations.h";
+
+/// Layer ranks for rule L7. A file in src/<layer>/ may include its own layer
+/// and any layer of strictly lower rank; the rank-8 peers may not include
+/// each other. This is the declared DAG of DESIGN.md §6.
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> ranks = {
+      {"common", 0}, {"hash", 1},     {"proto", 2},   {"obs", 3},
+      {"sim", 4},    {"epc", 5},      {"mme", 6},     {"core", 7},
+      {"workload", 8}, {"testbed", 8}, {"analysis", 8},
+  };
+  return ranks;
+}
+
+/// Layer of a root-relative path, or "" when the file is outside src/<layer>/.
+std::string layer_of(const std::string& rel) {
+  if (!starts_with(rel, "src/")) return "";
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";
+  const std::string dir = rel.substr(4, slash - 4);
+  return layer_ranks().count(dir) != 0 ? dir : "";
+}
+
+// --------------------------------------------------- pass 1: the file index
+
+/// One `// lint:` waiver comment, inventoried for the scale-lint-v1 report.
+struct Waiver {
+  std::string file;
+  std::size_t line = 0;
+  std::string kind;    // order-independent | by-value-ok | shard-local | shard-shared
+  std::string reason;  // shard-shared parenthetical / trailing rationale text
+};
+
+/// A mutable global surfaced by the L6 indexer.
+struct GlobalDecl {
+  std::string name;
+  std::size_t line = 0;       // line of the declarator name
+  std::size_t first_line = 0; // line the declaration starts on
+  std::string scope;          // "namespace" | "class-static" | "function-static"
+  bool is_thread_local = false;
+  std::string waiver;  // "" | "shard-local" | "shard-shared" | "shard-shared-empty"
+};
+
+struct IncludeRef {
+  std::string target;  // the quoted path as written, e.g. "epc/fabric.h"
+  std::size_t line = 0;
+};
+
+struct FileIndex {
+  std::string rel;
+  LexedFile lexed;
+  std::vector<IncludeRef> includes;
+  std::vector<GlobalDecl> globals;   // L6-scope files only
+  std::vector<Waiver> waivers;
+};
+
+/// Quoted includes, extracted from the *raw* text (the lexer blanks string
+/// literals, and an include path is lexically a string literal).
+std::vector<IncludeRef> extract_includes(const std::string& raw) {
+  std::vector<IncludeRef> out;
+  static const std::regex inc_re(
+      R"re(^[ \t]*#[ \t]*include[ \t]*"([^"]+)")re");
+  std::size_t line = 1;
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    const std::size_t eol = raw.find('\n', pos);
+    const std::string text =
+        raw.substr(pos, (eol == std::string::npos ? raw.size() : eol) - pos);
+    std::smatch m;
+    if (std::regex_search(text, m, inc_re)) out.push_back({m[1].str(), line});
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+/// Scan a file's comments for `lint:` waivers (all four kinds). The marker
+/// must *lead* the comment — a comment merely mentioning a waiver (rule
+/// documentation, finding-message text) is not one.
+std::vector<Waiver> extract_waivers(const std::string& rel,
+                                    const LexedFile& f) {
+  std::vector<Waiver> out;
+  static const std::regex w_re(
+      R"(^[\s/*!<]*lint:\s*(order-independent|by-value-ok|shard-local|shard-shared))");
+  for (const auto& [line, text] : f.comments) {
+    std::smatch m;
+    if (std::regex_search(text, m, w_re)) {
+      Waiver w;
+      w.file = rel;
+      w.line = line;
+      w.kind = m[1].str();
+      std::string rest =
+          text.substr(static_cast<std::size_t>(m.position() + m.length()));
+      if (w.kind == "shard-shared") {
+        const std::size_t open = rest.find('(');
+        const std::size_t close = rest.find(')', open + 1);
+        if (open != std::string::npos && close != std::string::npos)
+          rest = rest.substr(open + 1, close - open - 1);
+        else
+          rest.clear();
+      } else {
+        // Trailing rationale after the kind keyword; strip separators.
+        const std::size_t at = rest.find_first_not_of(" \t-:,.)(\xE2\x80\x94");
+        rest = at == std::string::npos ? std::string() : rest.substr(at);
+      }
+      while (!rest.empty() && (rest.back() == ' ' || rest.back() == '\t'))
+        rest.pop_back();
+      w.reason = rest;
+      out.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------- L6 scope walk & decl parsing
+
+enum class Scope : std::uint8_t { kNamespace, kClass, kFunction, kInit };
+
+/// Keywords that disqualify a segment from being a variable declaration.
+bool decl_blocklisted(const std::string& tok) {
+  static const std::set<std::string> kBlock = {
+      "class", "struct", "union", "enum", "using", "typedef", "template",
+      "extern", "friend", "operator", "namespace", "static_assert", "return",
+      "concept", "requires", "goto", "if", "else", "for", "while", "do",
+      "switch", "throw", "try", "catch", "co_return", "co_await", "co_yield",
+      "asm", "case", "default", "new", "delete",
+      "sizeof", "decltype", "noexcept", "typename"};
+  return kBlock.count(tok) != 0;
+}
+
+/// Builtin type / specifier words that cannot themselves be a declarator.
+bool type_word(const std::string& tok) {
+  static const std::set<std::string> kTypes = {
+      "auto", "void", "bool", "char", "int", "float", "double", "short",
+      "long", "signed", "unsigned", "wchar_t", "char8_t", "char16_t",
+      "char32_t", "inline", "static", "thread_local", "mutable", "volatile",
+      "register", "constexpr", "constinit", "const", "alignas"};
+  return kTypes.count(tok) != 0;
+}
+
+struct DeclHead {
+  bool viable = false;
+  bool has_static = false;
+  bool has_thread_local = false;
+  bool has_const = false;
+  std::string name;
+  std::size_t name_off = 0;  // offset into the file's code
+};
+
+/// Parse a statement head (text before `;`, `=` or a brace initializer) as a
+/// possible variable declaration. `base` is the offset of seg[0] in the
+/// file's code. Preprocessor lines are skipped; `[[...]]` attribute blocks,
+/// `<...>` template argument lists and trailing array extents are elided.
+/// Returns viable=false for anything that is not a plain named variable —
+/// functions, class heads, qualified out-of-class definitions, and every
+/// blocklisted construct. The approximation errs toward false *negatives*.
+/// Builtin type keywords that can carry a declaration on their own
+/// (`int g = 0;` has no other type token for the viability check to count).
+bool builtin_type(const std::string& tok) {
+  static const std::set<std::string> kCore = {
+      "auto", "void", "bool", "char", "int", "float", "double", "short",
+      "long", "signed", "unsigned", "wchar_t", "char8_t", "char16_t",
+      "char32_t"};
+  return kCore.count(tok) != 0;
+}
+
+DeclHead parse_decl_head(const std::string& code, std::size_t base,
+                         std::size_t len) {
+  DeclHead d;
+  std::vector<std::pair<std::string, std::size_t>> idents;
+  bool saw_builtin = false;
+  bool prev_was_colon_pair = false;
+  std::size_t i = base;
+  const std::size_t end = base + len;
+  while (i < end) {
+    const char c = code[i];
+    if (c == '#') {  // preprocessor directive: skip the rest of the line
+      while (i < end && code[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '[' && i + 1 < end && code[i + 1] == '[') {
+      int depth = 0;  // attribute block [[...]]
+      while (i < end) {
+        if (code[i] == '[') ++depth;
+        if (code[i] == ']') --depth;
+        ++i;
+        if (depth == 0) break;
+      }
+      continue;
+    }
+    if (c == '<') {  // template argument list; depth-matched
+      int depth = 0;
+      while (i < end) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') --depth;
+        ++i;
+        if (depth == 0) break;
+      }
+      continue;
+    }
+    if (c == '=') break;   // initializer: declarator complete
+    if (c == ',') break;   // first declarator only (int a, b; flags `a`)
+    if (c == '(') return d;  // function / ctor-style init: not ours
+    if (ident_char(c)) {
+      std::size_t s = i;
+      while (i < end && ident_char(code[i])) ++i;
+      std::string tok = code.substr(s, i - s);
+      if (tok == "public" || tok == "private" || tok == "protected") {
+        // Access specifier: its `:` does not end a statement segment, so
+        // `private: static int x_;` arrives here as one run of text. Skip
+        // the specifier and restart the declaration parse after the colon.
+        while (i < end &&
+               std::isspace(static_cast<unsigned char>(code[i])) != 0)
+          ++i;
+        if (i < end && code[i] == ':' &&
+            !(i + 1 < end && code[i + 1] == ':')) {
+          ++i;
+          idents.clear();
+          saw_builtin = false;
+          d = DeclHead{};
+          prev_was_colon_pair = false;
+          continue;
+        }
+        return d;
+      }
+      if (decl_blocklisted(tok)) return d;
+      if (tok == "static") d.has_static = true;
+      if (tok == "thread_local") d.has_thread_local = true;
+      if (tok == "const" || tok == "constexpr" || tok == "constinit")
+        d.has_const = true;
+      if (builtin_type(tok)) saw_builtin = true;
+      if (!type_word(tok)) {
+        // A declarator name directly preceded by :: is an out-of-class
+        // definition of a member declared (and audited) elsewhere.
+        if (prev_was_colon_pair && !idents.empty()) {
+          idents.pop_back();
+          idents.emplace_back(std::string(), s);  // poison: qualified
+        } else {
+          idents.emplace_back(std::move(tok), s);
+        }
+      }
+      prev_was_colon_pair = false;
+      continue;
+    }
+    if (c == ':' && i + 1 < end && code[i + 1] == ':') {
+      prev_was_colon_pair = true;
+      i += 2;
+      continue;
+    }
+    if (c == '[') {  // array extent: skip
+      int depth = 0;
+      while (i < end) {
+        if (code[i] == '[') ++depth;
+        if (code[i] == ']') --depth;
+        ++i;
+        if (depth == 0) break;
+      }
+      continue;
+    }
+    if (c == '*' || c == '&') {
+      prev_was_colon_pair = false;
+      ++i;
+      continue;
+    }
+    // Anything else (braces, semicolons should not appear; odd punctuation)
+    // disqualifies the segment.
+    return d;
+  }
+  if (idents.empty()) return d;
+  // The declarator needs a type to its left: another identifier (UserType
+  // name) or a builtin keyword (int name). A lone identifier is an
+  // expression statement, not a declaration.
+  if (idents.size() < 2 && !saw_builtin) return d;
+  if (idents.back().first.empty()) return d;  // qualified declarator
+  d.name = idents.back().first;
+  d.name_off = idents.back().second;
+  d.viable = true;
+  return d;
+}
+
+/// `// lint: shard-local` / `// lint: shard-shared(reason)` lookup across a
+/// declaration that may span lines: the waiver may sit on any line of the
+/// declaration itself or anywhere in the contiguous comment block directly
+/// above it (rationales are encouraged to run long).
+std::string shard_waiver(const LexedFile& f, std::size_t first_line,
+                         std::size_t name_line) {
+  std::size_t lo = first_line;
+  while (lo > 1 && f.comments.count(lo - 1) != 0) --lo;
+  for (std::size_t ln = lo; ln <= name_line; ++ln) {
+    const auto it = f.comments.find(ln);
+    if (it == f.comments.end()) continue;
+    if (it->second.find("lint: shard-local") != std::string::npos)
+      return "shard-local";
+    const std::size_t at = it->second.find("lint: shard-shared");
+    if (at != std::string::npos) {
+      const std::size_t open = it->second.find('(', at);
+      const std::size_t close = it->second.find(')', open + 1);
+      if (open == std::string::npos || close == std::string::npos ||
+          close - open <= 1)
+        return "shard-shared-empty";
+      return "shard-shared";
+    }
+  }
+  return "";
+}
+
+/// Classify the scope a `{` opens, from the statement segment before it.
+Scope classify_brace(const std::string& code, std::size_t seg_start,
+                     std::size_t brace, Scope current) {
+  bool saw_paren = false;
+  bool saw_classkw = false;
+  bool saw_namespace = false;
+  bool last_tok_return = false;
+  char last_nonspace = 0;
+  std::size_t i = seg_start;
+  while (i < brace) {
+    const char c = code[i];
+    if (c == '#') {
+      while (i < brace && code[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (ident_char(c)) {
+      std::size_t s = i;
+      while (i < brace && ident_char(code[i])) ++i;
+      const std::string tok = code.substr(s, i - s);
+      if (tok == "namespace") saw_namespace = true;
+      if (!saw_paren && (tok == "class" || tok == "struct" ||
+                         tok == "union" || tok == "enum"))
+        saw_classkw = true;
+      last_tok_return = (tok == "return");
+      last_nonspace = 'a';
+      continue;
+    }
+    if (c == '(') saw_paren = true;
+    last_nonspace = c;
+    last_tok_return = false;
+    ++i;
+  }
+  if (saw_namespace) return Scope::kNamespace;
+  if (saw_classkw) return Scope::kClass;
+  if (last_nonspace == '=' || last_nonspace == ',' || last_nonspace == '(' ||
+      last_tok_return)
+    return Scope::kInit;
+  if (saw_paren) return Scope::kFunction;
+  // A bare block: legal inside a function; at namespace/class scope the only
+  // brace without markers is an initializer.
+  return current == Scope::kFunction ? Scope::kFunction : Scope::kInit;
+}
+
+/// Walk a file's scopes and surface every mutable global (rule L6): any
+/// namespace-scope variable, plus any static/thread_local variable at class
+/// or function scope. const/constexpr declarations are immutable and skipped.
+std::vector<GlobalDecl> index_globals(const LexedFile& f) {
+  std::vector<GlobalDecl> out;
+  const std::string& code = f.code;
+  std::vector<Scope> stack = {Scope::kNamespace};
+  std::size_t seg_start = 0;
+
+  auto analyze = [&](std::size_t seg_end) {
+    const Scope cur = stack.back();
+    if (cur == Scope::kInit) return;
+    const DeclHead d = parse_decl_head(code, seg_start, seg_end - seg_start);
+    if (!d.viable || d.has_const) return;
+    const bool is_static = d.has_static || d.has_thread_local;
+    if (cur != Scope::kNamespace && !is_static) return;
+    GlobalDecl g;
+    g.name = d.name;
+    g.line = line_of(code, d.name_off);
+    // First non-blank position of the segment, for the waiver window.
+    std::size_t first = seg_start;
+    while (first < d.name_off &&
+           std::isspace(static_cast<unsigned char>(code[first])) != 0)
+      ++first;
+    g.first_line = line_of(code, first);
+    g.scope = cur == Scope::kNamespace
+                  ? "namespace"
+                  : (cur == Scope::kClass ? "class-static" : "function-static");
+    g.is_thread_local = d.has_thread_local;
+    g.waiver = shard_waiver(f, g.first_line, g.line);
+    out.push_back(std::move(g));
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      const Scope k = classify_brace(code, seg_start, i, stack.back());
+      if (k == Scope::kInit) analyze(i);  // brace-initialized declaration
+      stack.push_back(k);
+      seg_start = i + 1;
+    } else if (c == '}') {
+      if (stack.size() > 1) stack.pop_back();
+      seg_start = i + 1;
+    } else if (c == ';') {
+      analyze(i);
+      seg_start = i + 1;
+    }
+  }
+  return out;
 }
 
 // -------------------------------------------------------------------- rules
@@ -527,6 +993,177 @@ void check_l5(const std::string& rel, const LexedFile& f,
   }
 }
 
+void check_l6(const FileIndex& fi, std::vector<Finding>& out) {
+  for (const auto& g : fi.globals) {
+    if (g.waiver == "shard-local" || g.waiver == "shard-shared") continue;
+    std::string what =
+        g.scope == "namespace"
+            ? "namespace-scope mutable variable"
+            : (g.scope == "class-static" ? "mutable static data member"
+                                         : "mutable function-local static");
+    if (g.is_thread_local) what += " (thread_local)";
+    if (g.waiver == "shard-shared-empty") {
+      out.push_back({fi.rel, g.line, "L6",
+                     what + " '" + g.name +
+                         "' — shard-shared waiver needs a reason: `// lint: "
+                         "shard-shared(<why this must be process-global>)`"});
+      continue;
+    }
+    out.push_back(
+        {fi.rel, g.line, "L6",
+         what + " '" + g.name +
+             "' is process-visible state a shard boundary would leak "
+             "through; annotate `// lint: shard-local` (confined to one "
+             "shard/worker thread) or `// lint: shard-shared(<reason>)`, or "
+             "refactor it into per-shard state"});
+  }
+}
+
+void check_l7(const FileIndex& fi, std::vector<Finding>& out) {
+  const std::string from = layer_of(fi.rel);
+  if (from.empty()) return;
+  const auto& ranks = layer_ranks();
+  const int from_rank = ranks.at(from);
+  for (const auto& inc : fi.includes) {
+    const std::size_t slash = inc.target.find('/');
+    if (slash == std::string::npos) continue;  // same-dir relative include
+    const std::string to = inc.target.substr(0, slash);
+    const auto it = ranks.find(to);
+    if (it == ranks.end()) continue;  // not a layer path (e.g. gtest/...)
+    if (to == from || it->second < from_rank) continue;
+    std::string allowed;
+    for (const auto& [name, rank] : ranks)
+      if (rank < from_rank) allowed += (allowed.empty() ? "" : ", ") + name;
+    out.push_back(
+        {fi.rel, inc.line, "L7",
+         "#include \"" + inc.target + "\" — layer '" + from +
+             "' may not depend on '" + to +
+             "' (declared DAG, DESIGN.md §6; allowed from here: " +
+             (allowed.empty() ? "nothing below" : allowed) +
+             "). A back-edge here becomes a cross-shard reference the day "
+             "ShardedSim lands"});
+  }
+}
+
+/// Spellings of clang's thread-safety attributes that must stay behind the
+/// SCALE_* macros (rule L8a).
+const char* kRawThreadAttrRe =
+    R"(__attribute__\s*\(\s*\(\s*(capability|scoped_lockable|lockable|guarded_by|pt_guarded_by|guarded_var|pt_guarded_var|acquire_capability|acquired_before|acquired_after|try_acquire_capability|release_capability|requires_capability|exclusive_locks_required|shared_locks_required|exclusive_lock_function|shared_lock_function|unlock_function|assert_capability|locks_excluded|lock_returned|no_thread_safety_analysis)\b)";
+
+const char* kScaleMacroRe =
+    R"(\bSCALE_(CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY|ACQUIRE|ACQUIRE_SHARED|TRY_ACQUIRE|RELEASE|RELEASE_SHARED|REQUIRES|REQUIRES_SHARED|EXCLUDES|ASSERT_CAPABILITY|RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\b)";
+
+void check_l8(const FileIndex& fi,
+              const std::set<std::string>& include_closure,
+              std::vector<Finding>& out) {
+  if (!starts_with(fi.rel, "src/")) return;
+  if (fi.rel == kThreadAnnotationsHeader) return;
+  const std::string& code = fi.lexed.code;
+
+  // L8a — raw attribute spellings outside the canonical header.
+  static const std::regex raw_re(kRawThreadAttrRe);
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), raw_re);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back({fi.rel,
+                   line_of(code, static_cast<std::size_t>(it->position())),
+                   "L8",
+                   "raw clang thread-safety attribute '" + (*it)[1].str() +
+                       "' — use the SCALE_* macros from "
+                       "common/thread_annotations.h (no-ops off clang)"});
+  }
+
+  // L8b — SCALE_* macro use without the header in the include closure.
+  static const std::regex macro_re(kScaleMacroRe);
+  auto first_macro = std::sregex_iterator(code.begin(), code.end(), macro_re);
+  if (first_macro != std::sregex_iterator() &&
+      include_closure.count("common/thread_annotations.h") == 0) {
+    out.push_back(
+        {fi.rel,
+         line_of(code, static_cast<std::size_t>(first_macro->position())),
+         "L8",
+         "SCALE_" + (*first_macro)[1].str() +
+             " used but \"common/thread_annotations.h\" is not reachable "
+             "through this file's includes — the contract macros must come "
+             "from the canonical header"});
+  }
+
+  // Spans of all SCALE_*(...) annotation argument lists, so L8c/L8d can
+  // tell an annotation reference from a declaration.
+  struct Span {
+    std::size_t lo, hi;
+  };
+  std::vector<Span> ann_spans;
+  static const std::regex ann_re(
+      R"(\bSCALE_(GUARDED_BY|PT_GUARDED_BY|ACQUIRE|ACQUIRE_SHARED|TRY_ACQUIRE|RELEASE|RELEASE_SHARED|REQUIRES|REQUIRES_SHARED|EXCLUDES|RETURN_CAPABILITY)\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), ann_re);
+       it != std::sregex_iterator(); ++it) {
+    std::size_t p = static_cast<std::size_t>(it->position() + it->length());
+    int depth = 1;
+    const std::size_t lo = p;
+    while (p < code.size() && depth > 0) {
+      if (code[p] == '(') ++depth;
+      if (code[p] == ')') --depth;
+      ++p;
+    }
+    ann_spans.push_back({lo, p > lo ? p - 1 : lo});
+  }
+  auto in_annotation = [&](std::size_t off) {
+    for (const auto& s : ann_spans)
+      if (off >= s.lo && off < s.hi) return true;
+    return false;
+  };
+  auto declared_outside_annotations = [&](const std::string& ident) {
+    const std::regex id_re("\\b" + ident + "\\b");
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), id_re);
+         it != std::sregex_iterator(); ++it)
+      if (!in_annotation(static_cast<std::size_t>(it->position()))) return true;
+    return false;
+  };
+
+  // L8c — guarded_by must name a capability declared in this file.
+  static const std::regex gb_re(
+      R"(\bSCALE_(?:PT_)?GUARDED_BY\s*\(\s*([^)]*?)\s*\))");
+  static const std::regex plain_ident_re(R"(^[A-Za-z_]\w*$)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), gb_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string arg = (*it)[1].str();
+    if (!std::regex_match(arg, plain_ident_re)) continue;  // qualified: skip
+    if (declared_outside_annotations(arg)) continue;
+    out.push_back({fi.rel,
+                   line_of(code, static_cast<std::size_t>(it->position())),
+                   "L8",
+                   "SCALE_GUARDED_BY(" + arg +
+                       ") names a capability not declared in this file — "
+                       "the analyzer cannot check a phantom lock"});
+  }
+
+  // L8d — a declared mutex nothing is annotated against guards nothing the
+  // analyzer can see.
+  static const std::regex mutex_re(
+      R"(\b(?:std\s*::\s*(?:recursive_|shared_|timed_)*mutex|(?:scale\s*::\s*)?(?:common\s*::\s*)?Mutex)\s+(\w+)\s*[;{=])");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), mutex_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    bool referenced = false;
+    for (const auto& s : ann_spans) {
+      const std::string args = code.substr(s.lo, s.hi - s.lo);
+      const std::regex id_re("\\b" + name + "\\b");
+      if (std::regex_search(args, id_re)) {
+        referenced = true;
+        break;
+      }
+    }
+    if (referenced) continue;
+    out.push_back({fi.rel,
+                   line_of(code, static_cast<std::size_t>(it->position())),
+                   "L8",
+                   "mutex '" + name +
+                       "' has no SCALE_GUARDED_BY/SCALE_REQUIRES/SCALE_"
+                       "ACQUIRE users in this file — state guarded by "
+                       "convention is invisible to -Wthread-safety"});
+  }
+}
+
 // ------------------------------------------------------------------ driver
 
 bool lintable(const fs::path& p) {
@@ -546,12 +1183,73 @@ std::string read_file(const fs::path& p) {
   return ss.str();
 }
 
+/// scale-lint-v1: the machine-readable trajectory record. Everything in it
+/// is derived from root-relative paths and sorted containers, so two runs
+/// over the same tree serialize byte-identically (pinned by test).
+scale::obs::Json build_report(std::size_t scanned,
+                              std::size_t include_edges,
+                              std::size_t globals_indexed,
+                              const std::vector<Finding>& findings,
+                              std::vector<Waiver> waivers) {
+  using scale::obs::Json;
+  std::sort(waivers.begin(), waivers.end(),
+            [](const Waiver& a, const Waiver& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.kind < b.kind;
+            });
+  Json doc = Json::object();
+  doc.set("schema", "scale-lint-v1");
+  doc.set("tool", "scale_lint");
+  Json scanned_obj = Json::object();
+  scanned_obj.set("files", static_cast<std::uint64_t>(scanned));
+  scanned_obj.set("include_edges", static_cast<std::uint64_t>(include_edges));
+  scanned_obj.set("globals_indexed",
+                  static_cast<std::uint64_t>(globals_indexed));
+  doc.set("scanned", std::move(scanned_obj));
+  Json by_rule = Json::object();
+  for (int r = 1; r <= 8; ++r) {
+    const std::string rule = "L" + std::to_string(r);
+    std::uint64_t n = 0;
+    for (const auto& f : findings)
+      if (f.rule == rule) ++n;
+    by_rule.set(rule, n);
+  }
+  Json counts = Json::object();
+  counts.set("findings", static_cast<std::uint64_t>(findings.size()));
+  counts.set("waivers", static_cast<std::uint64_t>(waivers.size()));
+  counts.set("by_rule", std::move(by_rule));
+  doc.set("counts", std::move(counts));
+  Json jf = Json::array();
+  for (const auto& f : findings) {
+    Json one = Json::object();
+    one.set("file", f.file);
+    one.set("line", static_cast<std::uint64_t>(f.line));
+    one.set("rule", f.rule);
+    one.set("message", f.message);
+    jf.push_back(std::move(one));
+  }
+  doc.set("findings", std::move(jf));
+  Json jw = Json::array();
+  for (const auto& w : waivers) {
+    Json one = Json::object();
+    one.set("file", w.file);
+    one.set("line", static_cast<std::uint64_t>(w.line));
+    one.set("kind", w.kind);
+    one.set("reason", w.reason);
+    jw.push_back(std::move(one));
+  }
+  doc.set("waivers", std::move(jw));
+  return doc;
+}
+
 int usage() {
-  std::cerr << "usage: scale_lint [--root DIR] [path...]\n"
+  std::cerr << "usage: scale_lint [--root DIR] [--json FILE] [path...]\n"
                "  Paths are files or directories, resolved against --root\n"
                "  (default: current directory); rule scoping keys off the\n"
-               "  root-relative path. Default paths: src bench tests "
-               "examples tools\n";
+               "  root-relative path. --json additionally writes the\n"
+               "  scale-lint-v1 report (findings + waiver inventory) to\n"
+               "  FILE. Default paths: src bench tests examples tools\n";
   return 2;
 }
 
@@ -559,19 +1257,24 @@ int usage() {
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
+  std::string json_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return usage();
       root = fs::path(argv[++i]);
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) return usage();
+      json_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "bench", "tests", "examples", "tools"};
+  const bool defaulted = paths.empty();
+  if (defaulted) paths = {"src", "bench", "tests", "examples", "tools"};
 
   std::error_code ec;
   root = fs::canonical(root, ec);
@@ -592,7 +1295,6 @@ int main(int argc, char** argv) {
     } else if (!fs::exists(full)) {
       // Missing optional default dirs (e.g. no examples/) are fine, but an
       // explicitly named path that does not exist is an invocation error.
-      const bool defaulted = (argc == 1);
       if (!defaulted) {
         std::cerr << "scale_lint: no such path: " << full << "\n";
         return 2;
@@ -602,31 +1304,84 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::vector<Finding> findings;
-  std::set<std::string> files_with_findings;
-  std::size_t scanned = 0;
+  // ---- pass 1: index every file (lex, include edges, globals, waivers).
+  std::vector<FileIndex> index;
+  index.reserve(files.size());
+  std::size_t include_edges = 0;
+  std::size_t globals_indexed = 0;
   for (const auto& file : files) {
-    const std::string rel =
-        fs::relative(file, root, ec).generic_string();
+    const std::string rel = fs::relative(file, root, ec).generic_string();
     if (ec || excluded(rel)) continue;
-    ++scanned;
-    const LexedFile lf = lex(read_file(file));
+    FileIndex fi;
+    fi.rel = rel;
+    const std::string raw = read_file(file);
+    fi.includes = extract_includes(raw);
+    fi.lexed = lex(raw);
+    fi.waivers = extract_waivers(rel, fi.lexed);
+    if (in_l6_scope(rel)) {
+      fi.globals = index_globals(fi.lexed);
+      globals_indexed += fi.globals.size();
+    }
+    include_edges += fi.includes.size();
+    index.push_back(std::move(fi));
+  }
+
+  // Include closure per file (by quoted-include target string), for L8b.
+  // Edges are matched textually against the indexed tree: "epc/fabric.h"
+  // links to the index entry whose rel is "src/epc/fabric.h".
+  std::map<std::string, const FileIndex*> by_target;
+  for (const auto& fi : index)
+    if (starts_with(fi.rel, "src/")) by_target[fi.rel.substr(4)] = &fi;
+  auto closure_of = [&](const FileIndex& fi) {
+    std::set<std::string> seen;
+    std::vector<const FileIndex*> work = {&fi};
+    while (!work.empty()) {
+      const FileIndex* cur = work.back();
+      work.pop_back();
+      for (const auto& inc : cur->includes) {
+        if (!seen.insert(inc.target).second) continue;
+        const auto it = by_target.find(inc.target);
+        if (it != by_target.end()) work.push_back(it->second);
+      }
+    }
+    return seen;
+  };
+
+  // ---- pass 2: enforce.
+  std::vector<Finding> findings;
+  std::vector<Waiver> all_waivers;
+  std::set<std::string> files_with_findings;
+  std::map<std::string, const FileIndex*> by_rel;
+  for (const auto& fi : index) by_rel[fi.rel] = &fi;
+  for (const auto& fi : index) {
     // L2 needs member declarations from the paired header: `conns_` is
     // declared in enodeb.h but iterated in enodeb.cpp.
     std::vector<std::string> sibling_decls;
-    if (file.extension() == ".cpp" || file.extension() == ".cc") {
-      fs::path header = file;
-      header.replace_extension(".h");
-      if (fs::is_regular_file(header))
-        sibling_decls = unordered_decl_names(lex(read_file(header)).code);
+    if (fi.rel.size() > 4 &&
+        (fi.rel.compare(fi.rel.size() - 4, 4, ".cpp") == 0 ||
+         fi.rel.compare(fi.rel.size() - 3, 3, ".cc") == 0)) {
+      std::string header = fi.rel.substr(0, fi.rel.rfind('.')) + ".h";
+      const auto hit = by_rel.find(header);
+      if (hit != by_rel.end()) {
+        sibling_decls = unordered_decl_names(hit->second->lexed.code);
+      } else {
+        fs::path hp = root / header;
+        if (fs::is_regular_file(hp))
+          sibling_decls = unordered_decl_names(lex(read_file(hp)).code);
+      }
     }
     const std::size_t before = findings.size();
-    check_l1(rel, lf, findings);
-    check_l2(rel, lf, sibling_decls, findings);
-    check_l3(rel, lf, findings);
-    check_l4(rel, lf, findings);
-    check_l5(rel, lf, findings);
-    if (findings.size() != before) files_with_findings.insert(rel);
+    check_l1(fi.rel, fi.lexed, findings);
+    check_l2(fi.rel, fi.lexed, sibling_decls, findings);
+    check_l3(fi.rel, fi.lexed, findings);
+    check_l4(fi.rel, fi.lexed, findings);
+    check_l5(fi.rel, fi.lexed, findings);
+    check_l6(fi, findings);
+    check_l7(fi, findings);
+    check_l8(fi, closure_of(fi), findings);
+    if (findings.size() != before) files_with_findings.insert(fi.rel);
+    all_waivers.insert(all_waivers.end(), fi.waivers.begin(),
+                       fi.waivers.end());
   }
 
   std::sort(findings.begin(), findings.end(),
@@ -639,7 +1394,19 @@ int main(int argc, char** argv) {
     std::cout << fdg.file << ":" << fdg.line << ": [" << fdg.rule << "] "
               << fdg.message << "\n";
   std::cerr << "scale_lint: " << findings.size() << " finding(s) in "
-            << files_with_findings.size() << " of " << scanned
+            << files_with_findings.size() << " of " << index.size()
             << " file(s)\n";
+
+  if (!json_path.empty()) {
+    const scale::obs::Json doc =
+        build_report(index.size(), include_edges, globals_indexed, findings,
+                     std::move(all_waivers));
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "scale_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << doc.pretty() << "\n";
+  }
   return findings.empty() ? 0 : 1;
 }

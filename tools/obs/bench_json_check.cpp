@@ -10,8 +10,17 @@
 // to. Allocation counts — unlike wall times — are deterministic, so the
 // gate is exact and runs on any machine.
 //
+// Two more modes guard shard-readiness (DESIGN.md §6 L6–L8): --lint
+// validates "scale-lint-v1" documents from `scale_lint --json`, and
+// --compare-lint diffs a fresh lint report against the committed
+// LINT_baseline.json — any NEW finding or NEW waiver fails, so the lint
+// gate catches additions even when the exit code alone would not (e.g. a
+// fresh `// lint:` waiver silently widening the audit surface).
+//
 // usage: bench_json_check <file.json>...
 //        bench_json_check --compare-allocs <baseline.json> <current.json>
+//        bench_json_check --lint <file.json>...
+//        bench_json_check --compare-lint <baseline.json> <current.json>
 // Exit: 0 all valid / no regression, 1 any invalid / regression, 2 usage/IO.
 #include <cstdio>
 #include <fstream>
@@ -111,14 +120,108 @@ int compare_allocs(const char* baseline_path, const char* current_path) {
   return code;
 }
 
+/// Load + parse + validate one scale-lint-v1 document.
+std::optional<scale::obs::Json> load_lint(const char* path, bool* io_error) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    *io_error = true;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = scale::obs::Json::parse(buf.str(), &error);
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path, error.c_str());
+    return std::nullopt;
+  }
+  const auto problems = scale::obs::validate_lint_json(*doc);
+  for (const auto& p : problems)
+    std::fprintf(stderr, "%s: %s\n", path, p.c_str());
+  if (!problems.empty()) return std::nullopt;
+  return doc;
+}
+
+/// Multiset of entries in a lint-report array, keyed stably *without* line
+/// numbers, so unrelated edits shifting a file do not churn the baseline.
+std::map<std::string, int> lint_entry_counts(const scale::obs::Json& doc,
+                                             const char* array_key,
+                                             bool waiver) {
+  std::map<std::string, int> out;
+  const auto* arr = doc.find(array_key);
+  if (arr == nullptr) return out;
+  for (const auto& e : arr->elements()) {
+    const std::string key =
+        e.find("file")->as_string() + "\x01" +
+        (waiver ? e.find("kind")->as_string() : e.find("rule")->as_string()) +
+        "\x01" +
+        (waiver ? e.find("reason")->as_string()
+                : e.find("message")->as_string());
+    ++out[key];
+  }
+  return out;
+}
+
+/// Human rendering of a multiset key built above.
+std::string lint_key_pretty(const std::string& key) {
+  std::string s = key;
+  for (auto& c : s)
+    if (c == '\x01') c = ' ';
+  return s;
+}
+
+/// The lint gate: every finding and every waiver in the current report must
+/// already exist in the baseline (count-wise, so duplicates are handled).
+/// Entries that *disappeared* are fine — the tree got cleaner — but are
+/// reported as info so the baseline gets refreshed.
+int compare_lint(const char* baseline_path, const char* current_path) {
+  bool io_error = false;
+  const auto baseline = load_lint(baseline_path, &io_error);
+  const auto current = load_lint(current_path, &io_error);
+  if (io_error) return 2;
+  if (!baseline.has_value() || !current.has_value()) return 1;
+
+  int code = 0;
+  for (const bool waiver : {false, true}) {
+    const char* what = waiver ? "waiver" : "finding";
+    const char* array_key = waiver ? "waivers" : "findings";
+    const auto want = lint_entry_counts(*baseline, array_key, waiver);
+    const auto got = lint_entry_counts(*current, array_key, waiver);
+    for (const auto& [key, n] : got) {
+      const auto it = want.find(key);
+      const int base_n = it == want.end() ? 0 : it->second;
+      if (n > base_n) {
+        std::fprintf(stderr,
+                     "lint-compare: new %s (%d, baseline %d): %s\n"
+                     "lint-compare: review it, then re-baseline via "
+                     "scripts/lint_baseline.sh\n",
+                     what, n, base_n, lint_key_pretty(key).c_str());
+        code = 1;
+      }
+    }
+    for (const auto& [key, n] : want) {
+      const auto it = got.find(key);
+      const int cur_n = it == got.end() ? 0 : it->second;
+      if (cur_n < n)
+        std::printf("lint-compare: %s gone (good — re-baseline): %s\n", what,
+                    lint_key_pretty(key).c_str());
+    }
+  }
+  if (code == 0) std::printf("lint-compare: no new findings or waivers\n");
+  return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file.json>...\n"
-                 "       %s --compare-allocs <baseline.json> <current.json>\n",
-                 argv[0], argv[0]);
+                 "       %s --compare-allocs <baseline.json> <current.json>\n"
+                 "       %s --lint <file.json>...\n"
+                 "       %s --compare-lint <baseline.json> <current.json>\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   if (std::string(argv[1]) == "--compare-allocs") {
@@ -129,6 +232,37 @@ int main(int argc, char** argv) {
       return 2;
     }
     return compare_allocs(argv[2], argv[3]);
+  }
+  if (std::string(argv[1]) == "--compare-lint") {
+    if (argc != 4) {
+      std::fprintf(stderr,
+                   "usage: %s --compare-lint <baseline.json> <current.json>\n",
+                   argv[0]);
+      return 2;
+    }
+    return compare_lint(argv[2], argv[3]);
+  }
+  if (std::string(argv[1]) == "--lint") {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s --lint <file.json>...\n", argv[0]);
+      return 2;
+    }
+    int code = 0;
+    for (int i = 2; i < argc; ++i) {
+      bool io_error = false;
+      const auto doc = load_lint(argv[i], &io_error);
+      if (io_error) return 2;
+      if (!doc.has_value()) {
+        code = 1;
+        continue;
+      }
+      std::printf("%s: OK (%lld finding(s), %lld waiver(s))\n", argv[i],
+                  static_cast<long long>(
+                      doc->find("counts")->find("findings")->as_int()),
+                  static_cast<long long>(
+                      doc->find("counts")->find("waivers")->as_int()));
+    }
+    return code;
   }
   int code = 0;
   for (int i = 1; i < argc; ++i) {
