@@ -12,6 +12,13 @@
 // 30 VMs / 80 K devices; we run 30 VMs with a proportionally loaded 24 K
 // devices so the bench completes in seconds while preserving per-VM load
 // and skew ratios.
+//
+// --threads=N runs fig 10(b) on a ShardedSim world (one shard per DC,
+// DESIGN.md §10): clusters and drivers are built against their DC's shard
+// engine/fabric and the run is advanced in conservative lookahead windows.
+// Results are byte-identical for every N >= 1 (and differ from the default
+// single-engine run only through per-shard RNG streams and event ids).
+// --quick shrinks populations and horizons for the tier-1 TSan leg.
 #include <cstdlib>
 #include <limits>
 #include <set>
@@ -34,7 +41,8 @@ constexpr double kClusterCapacity = kVms * 150.0;
 constexpr std::size_t kDevices = 24000;
 
 double s1_run(unsigned R, double hot_boost, unsigned tokens,
-              std::uint64_t seed) {
+              std::uint64_t seed, bool quick) {
+  const std::size_t devices = quick ? kDevices / 8 : kDevices;
   core::ScaleCluster::Config cfg;
   cfg.initial_mmps = kVms;
   cfg.ring_tokens = tokens;  // 5 = SCALE (paper), 1 = basic CH baseline
@@ -44,8 +52,9 @@ double s1_run(unsigned R, double hot_boost, unsigned tokens,
   cfg.provisioner.devices_per_vm = 100000;  // provisioning out of the way
   bench::ScaleWorld w(cfg, /*enbs=*/2, seed);
 
-  auto ues = w.tb.make_ues(*w.site, kDevices, {0.8});
-  w.tb.register_all(*w.site, Duration::sec(40.0), Duration::sec(4.0));
+  auto ues = w.tb.make_ues(*w.site, devices, {0.8});
+  w.tb.register_all(*w.site, Duration::sec(quick ? 10.0 : 40.0),
+                    Duration::sec(4.0));
 
   // Load skew: devices mastered on the first 20% of VMs are "hot" and get
   // `hot_boost` × the fair per-device share (workload::make_skewed_split).
@@ -74,20 +83,21 @@ double s1_run(unsigned R, double hot_boost, unsigned tokens,
   const Time t0 = w.tb.engine().now();
   hot_driver.start(t0 + Duration::sec(8.0));
   cold_driver.start(t0 + Duration::sec(8.0));
-  w.tb.run_for(Duration::sec(10.0));
+  w.tb.run_for(Duration::sec(quick ? 9.0 : 10.0));
   return w.tb.delays().merged().percentile(0.99);
 }
 
-void fig10a(obs::Report& rep) {
+void fig10a(obs::Report& rep, bool quick) {
   auto& sec = rep.section(
       "Fig 10(a): p99 delay (ms) vs replication factor, skew L1..L4");
   sec.columns({"R", "basicCH(L2)", "L1", "L2", "L3", "L4"});
   const double boosts[4] = {1.5, 2.5, 4.0, 6.0};
-  for (unsigned R = 1; R <= 4; ++R) {
+  // --quick: one replication factor is enough to smoke the S1 paths.
+  for (unsigned R = 1; R <= (quick ? 1u : 4u); ++R) {
     std::vector<double> cols = {static_cast<double>(R)};
-    cols.push_back(s1_run(R, boosts[1], /*tokens=*/1, 100 + R));
+    cols.push_back(s1_run(R, boosts[1], /*tokens=*/1, 100 + R, quick));
     for (double boost : boosts)
-      cols.push_back(s1_run(R, boost, /*tokens=*/5, 200 + R));
+      cols.push_back(s1_run(R, boost, /*tokens=*/5, 200 + R, quick));
     sec.row(cols);
   }
 }
@@ -102,10 +112,11 @@ enum class S2Mode { kInd, kRdm1, kRdm2, kScale };
 //   RDM2: DC2 is farther than DC4 (equal loads) and the selector ignores it.
 //   SCALE: same adverse topology as RDM1+RDM2 combined; selection uses
 //         Ŝ (load headroom) and 1/D weighting.
-std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
-                           obs::MetricsRegistry* reg = nullptr) {
+std::vector<double> s2_run(S2Mode mode, std::uint64_t seed, unsigned threads,
+                           bool quick, obs::MetricsRegistry* reg = nullptr) {
   Testbed::Config tcfg;
   tcfg.seed = seed;
+  tcfg.threads = threads;  // 0 = classic single-engine world
   Testbed tb(tcfg);
   constexpr std::size_t kDcs = 4;
   constexpr std::size_t kVmsPerDc = 2;
@@ -151,8 +162,11 @@ std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
     cfg.provisioner.max_vms = kVmsPerDc;   // about multiplexing, not scaling
     cfg.mmp_offload_threshold = 0.8;
     cfg.seed = seed + dc;
+    // Each cluster lives on its DC's shard: its endpoints register with the
+    // shard fabric and its timers run on the shard engine. Unsharded (or for
+    // DC 0) this is exactly tb.fabric().
     clusters.push_back(std::make_unique<core::ScaleCluster>(
-        tb.fabric(), sites[dc]->sgw->node(), tb.hss().node(), cfg));
+        tb.fabric_for_dc(dc), sites[dc]->sgw->node(), tb.hss().node(), cfg));
     clusters[dc]->connect_enb(*sites[dc]->enbs[0]);
     tb.assign_dc(clusters[dc]->mlb().node(), dc);
     for (auto& mmp : clusters[dc]->mmps()) tb.assign_dc(mmp->node(), dc);
@@ -172,8 +186,9 @@ std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
   for (std::uint32_t dc = 0; dc < kDcs; ++dc) {
     // A large population keeps the overload open-loop: the queue cannot
     // drain by throttling a small closed set of devices.
-    devices[dc] = tb.make_ues(*sites[dc], 2000, {0.9});
-    tb.register_all(*sites[dc], Duration::sec(25.0), Duration::sec(4.0));
+    devices[dc] = tb.make_ues(*sites[dc], quick ? 300 : 2000, {0.9});
+    tb.register_all(*sites[dc], Duration::sec(quick ? 8.0 : 25.0),
+                    Duration::sec(4.0));
     for (epc::Ue* ue : devices[dc])
       ue->set_completion_sink(
           [&per_dc, dc](epc::Ue&, proto::ProcedureType, Duration d) {
@@ -201,24 +216,31 @@ std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
     drv.mix.service_request = 0.2;
     drv.mix.tau = 0.8;
     drv.seed = seed * 13 + dc;
+    // The driver's arrival events must fire on the DC's shard engine: they
+    // poke UEs owned by that shard.
     drivers.push_back(std::make_unique<workload::OpenLoopDriver>(
-        tb.engine(), devices[dc], drv));
-    drivers.back()->start(tb.engine().now() + Duration::sec(26.0));
+        tb.engine_for_dc(dc), devices[dc], drv));
+    drivers.back()->start(tb.engine_for_dc(dc).now() +
+                          Duration::sec(quick ? 8.0 : 26.0));
   }
   // Recurring epochs while the overload persists (§4.4: decisions recur
   // every epoch). The paper's persistent-overload scenario spans many
   // epochs, so the measurement covers the steady state after placement has
   // adapted to the observed loads (the busy DC's gossiped Ŝ is ~0 by then).
+  // Each cluster's epoch runs on its own shard engine — run_epoch() touches
+  // only that cluster's (shard-local) state plus the fabric, which relays
+  // any cross-DC PDU through the mailboxes.
   if (mode != S2Mode::kInd) {
     for (double at : {4.0, 8.0}) {
-      tb.engine().after(Duration::sec(at), [&clusters]() {
-        for (auto& c : clusters) c->run_epoch();
-      });
+      for (std::uint32_t dc = 0; dc < kDcs; ++dc) {
+        tb.engine_for_dc(dc).after(
+            Duration::sec(at), [c = clusters[dc].get()]() { c->run_epoch(); });
+      }
     }
   }
-  tb.run_for(Duration::sec(10.0));
+  tb.run_for(Duration::sec(quick ? 4.0 : 10.0));
   for (auto& sampler : per_dc) sampler.clear();  // steady state only
-  tb.run_for(Duration::sec(18.0));
+  tb.run_for(Duration::sec(quick ? 8.0 : 18.0));
 
   if (std::getenv("SCALE_BENCH_DEBUG") != nullptr) {
     for (std::uint32_t dc = 0; dc < kDcs; ++dc) {
@@ -261,7 +283,7 @@ std::vector<double> s2_run(S2Mode mode, std::uint64_t seed,
   return out;
 }
 
-void fig10b(obs::Report& rep) {
+void fig10b(obs::Report& rep, unsigned threads, bool quick) {
   auto& sec = rep.section("Fig 10(b): per-DC p99 (ms), DC1/DC3 overloaded");
   sec.columns({"mode", "DC1", "DC2", "DC3", "DC4"});
   struct Case {
@@ -274,8 +296,8 @@ void fig10b(obs::Report& rep) {
   for (const Case c : {Case{"IND", S2Mode::kInd}, Case{"RDM1", S2Mode::kRdm1},
                        Case{"RDM2", S2Mode::kRdm2},
                        Case{"SCALE", S2Mode::kScale}}) {
-    const auto v =
-        s2_run(c.mode, 5, c.mode == S2Mode::kScale ? &registry : nullptr);
+    const auto v = s2_run(c.mode, 5, threads, quick,
+                          c.mode == S2Mode::kScale ? &registry : nullptr);
     sec.row(c.name, v);
   }
   rep.attach_metrics(registry);
@@ -286,7 +308,7 @@ void fig10b(obs::Report& rep) {
 int main(int argc, char** argv) {
   scale::obs::BenchMain bm(argc, argv, "fig10_simulation",
                            "S1/S2 — large-scale simulations");
-  fig10a(bm.report());
-  fig10b(bm.report());
+  fig10a(bm.report(), bm.quick());
+  fig10b(bm.report(), bm.threads(), bm.quick());
   return bm.finish();
 }

@@ -39,6 +39,16 @@ build/tools/obs/bench_json_check --compare-allocs BENCH_core.json \
 cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"${JOBS}" --target scale_tests
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \
-  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs|Engine|BufferPool|BoxAlloc')
+  -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs|Engine|BufferPool|BoxAlloc|Sharded')
+
+# TSan leg (DESIGN.md §10): the ShardedSim window protocol under
+# ThreadSanitizer — a threaded fig10 smoke. The mailboxes carry no locks or
+# atomics of their own (the phase barrier is the only synchronization), so
+# TSan is the proof that the pool handshake really publishes every
+# cross-shard engine/mailbox mutation. --quick shrinks populations/horizons
+# to keep the instrumented run in CI budget.
+cmake -B build-tsan -S . -DSCALE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target fig10_simulation
+build-tsan/bench/fig10_simulation --quick --threads=4 >/dev/null
 
 echo "tier-1: OK"

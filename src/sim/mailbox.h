@@ -1,0 +1,133 @@
+// Cross-shard mailboxes for ShardedSim (DESIGN.md §10).
+//
+// One Mailbox per ordered (source shard, destination shard) pair. The
+// producer is the source shard's worker, which appends during a conservative
+// execution window; the consumer is the destination shard's worker, which
+// drains at the barrier that ends the window. Production and consumption are
+// therefore never concurrent — the window barrier is the synchronization
+// point — so the mailbox is a plain vector plus a phase discipline, not a
+// lock-free queue. The barrier's happens-before edge is what makes the
+// unguarded accesses race-free (TSan sees it through the pool's
+// mutex/condition-variable handshake in ShardedSim).
+//
+// Determinism: messages carry no explicit sequence number — the vector
+// preserves the producer's append order, which is the source engine's
+// deterministic fire order. Draining ascending by source shard, FIFO within
+// each mailbox, yields the (shard, seq) total order the protocol pins.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "proto/pdu.h"
+
+namespace scale::sim {
+
+/// Identifier of an addressable entity — mirrored from sim/network.h (kept
+/// here to avoid dragging the whole Network header into the mailbox).
+using ShardNodeId = std::uint32_t;
+
+/// One in-flight cross-shard PDU. The source shard resolved the link's
+/// latency, jitter, and fault verdict at send time (against its own
+/// shard-local RNG streams); only the scheduled arrival remains to be done.
+struct CrossShardMsg {
+  std::int64_t deliver_us = 0;  ///< absolute arrival time (Time::count_us)
+  ShardNodeId from = 0;
+  ShardNodeId to = 0;
+  proto::Pdu pdu;
+};
+
+/// Phase-disciplined SPSC buffer for one (src, dst) shard pair.
+class Mailbox {
+ public:
+  /// Producer side: append during the source shard's execution window.
+  void push(CrossShardMsg&& m) { msgs_.push_back(std::move(m)); }
+
+  /// Consumer side: called between windows only. Visits messages in append
+  /// (= source-engine fire) order, then resets the buffer, keeping its
+  /// capacity so the steady state allocates nothing.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    for (CrossShardMsg& m : msgs_) fn(std::move(m));
+    msgs_.clear();
+  }
+
+  bool empty() const { return msgs_.empty(); }
+  std::size_t size() const { return msgs_.size(); }
+
+ private:
+  std::vector<CrossShardMsg> msgs_;
+};
+
+/// Shard topology + the mailbox matrix. Shards are added single-threaded at
+/// world-construction time; the matrix shape is frozen once the first
+/// parallel window runs.
+///
+/// NodeId space partitioning: shard s allocates NodeIds in
+/// [s << kShardIdBits, (s+1) << kShardIdBits), so the owning shard of any
+/// node is a pure function of its id — no shared routing map, hence no
+/// cross-thread lookup races and no allocation-order nondeterminism. Shard 0
+/// starts at id 1, exactly the unsharded Fabric's sequence, so single-shard
+/// worlds are bit-identical to the pre-ShardedSim behaviour.
+class ShardRouter {
+ public:
+  /// 2^26 NodeIds per shard, up to 64 shards in a 32-bit NodeId.
+  static constexpr std::uint32_t kShardIdBits = 26;
+  static constexpr std::uint32_t kMaxShards = 1u << (32 - kShardIdBits);
+
+  static constexpr std::uint32_t shard_of(ShardNodeId node) {
+    return node >> kShardIdBits;
+  }
+  static constexpr ShardNodeId first_node_id(std::uint32_t shard) {
+    return (shard << kShardIdBits) | 1u;
+  }
+
+  ShardRouter() { grow_to(1); }
+
+  /// Register another shard; returns its id. Build-time only.
+  std::uint32_t add_shard() {
+    SCALE_CHECK_MSG(!frozen_, "cannot add shards after the first run");
+    grow_to(shard_count_ + 1);
+    return shard_count_ - 1;
+  }
+
+  std::uint32_t shard_count() const { return shard_count_; }
+  void freeze() { frozen_ = true; }
+
+  Mailbox& outbox(std::uint32_t src, std::uint32_t dst) {
+    return mail_[src * shard_count_ + dst];
+  }
+
+  /// Drain everything addressed to `dst` in (source shard, seq) order.
+  template <typename Fn>
+  void drain_into(std::uint32_t dst, Fn&& fn) {
+    for (std::uint32_t src = 0; src < shard_count_; ++src)
+      mail_[src * shard_count_ + dst].drain(fn);
+  }
+
+  bool all_empty() const {
+    for (const Mailbox& m : mail_)
+      if (!m.empty()) return false;
+    return true;
+  }
+
+ private:
+  void grow_to(std::uint32_t n) {
+    SCALE_CHECK_MSG(n <= kMaxShards, "shard count exceeds NodeId partition");
+    std::vector<Mailbox> grown(static_cast<std::size_t>(n) * n);
+    for (std::uint32_t s = 0; s < shard_count_; ++s)
+      for (std::uint32_t d = 0; d < shard_count_; ++d)
+        grown[s * n + d] = std::move(mail_[s * shard_count_ + d]);
+    mail_ = std::move(grown);
+    shard_count_ = n;
+  }
+
+  std::uint32_t shard_count_ = 0;
+  bool frozen_ = false;
+  std::vector<Mailbox> mail_;  ///< row-major [src][dst]
+};
+
+}  // namespace scale::sim

@@ -1,0 +1,170 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/registry.h"
+#include "sim/engine.h"
+
+namespace scale::sim {
+
+ShardedSim::ShardedSim(ShardRouter& router, std::vector<Shard> shards,
+                       Config cfg)
+    : router_(router), shards_(std::move(shards)), cfg_(cfg) {
+  SCALE_CHECK_MSG(!shards_.empty(), "ShardedSim needs at least one shard");
+  SCALE_CHECK_MSG(shards_.size() == router_.shard_count(),
+                  "shard list must match the router's shard count");
+  SCALE_CHECK_MSG(cfg_.lookahead > Duration::zero(),
+                  "conservative windows need a positive lookahead");
+  const Time start = shards_[0].engine->now();
+  for (const Shard& s : shards_) {
+    SCALE_CHECK(s.engine != nullptr);
+    SCALE_CHECK_MSG(s.engine->now() == start,
+                    "all shard clocks must agree before sharded stepping");
+  }
+  router_.freeze();
+  const unsigned want = std::max(1u, cfg_.threads);
+  threads_ = std::min<unsigned>(
+      want, static_cast<unsigned>(shards_.size()));
+  relayed_by_worker_.assign(threads_, 0);
+  pool_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w)
+    pool_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ShardedSim::~ShardedSim() {
+  if (!pool_.empty()) {
+    {
+      common::MutexLock lock(mu_);
+      phase_ = Phase::kStop;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void ShardedSim::set_shard_scope(
+    std::function<void(std::uint32_t)> enter,  // lint: by-value-ok — sinks,
+    std::function<void(std::uint32_t)> exit) {  // moved once per run setup
+  enter_shard_ = std::move(enter);
+  exit_shard_ = std::move(exit);
+}
+
+void ShardedSim::run_until(Time target) {
+  Time now = shards_[0].engine->now();
+  SCALE_CHECK(target >= now);
+  // Driver code running between windows (cluster start-up, epoch kicks from
+  // the main thread) may have relayed cross-shard PDUs since the last run.
+  // Deliver them before the first window so its base accounts for their
+  // events; their latencies keep them at or after `now`, so nothing is late.
+  if (!router_.all_empty()) run_phase(Phase::kDrain, now);
+  while (now < target) {
+    // All mailboxes are empty here (drained every window), so the earliest
+    // pending work anywhere is the min over the engines' queues. Jumping the
+    // window base to it skips dead time without affecting the schedule: the
+    // skipped span contains no events at any thread count.
+    Time base = min_next_event_time();
+    if (base < now) base = now;  // engine invariant: events are >= now
+    if (base > target) base = target;
+    Time wend = target;
+    if (base.count_us() <=
+        Time::max().count_us() - cfg_.lookahead.count_us()) {
+      wend = std::min(target, base + cfg_.lookahead);
+    }
+    run_phase(Phase::kAdvance, wend);
+    run_phase(Phase::kDrain, wend);
+    ++windows_;
+    now = wend;
+  }
+}
+
+Time ShardedSim::min_next_event_time() {
+  Time g = Time::max();
+  for (const Shard& s : shards_) g = std::min(g, s.engine->next_event_time());
+  return g;
+}
+
+void ShardedSim::run_phase(Phase phase, Time window_end) {
+  if (threads_ == 1) {
+    run_shards_of(0, phase, window_end);
+  } else {
+    {
+      common::MutexLock lock(mu_);
+      phase_ = phase;
+      window_end_us_ = window_end.count_us();
+      pending_ = threads_ - 1;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    run_shards_of(0, phase, window_end);
+    std::unique_lock<common::Mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (phase == Phase::kDrain) {
+    // Workers are parked (or inline) here, so their counters are quiescent;
+    // fold them into the run total between phases.
+    for (std::uint64_t& c : relayed_by_worker_) {
+      relayed_ += c;
+      c = 0;
+    }
+  }
+}
+
+void ShardedSim::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Phase phase;
+    Time window_end;
+    {
+      std::unique_lock<common::Mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return epoch_ != seen; });
+      seen = epoch_;
+      phase = phase_;
+      window_end = Time::from_us(window_end_us_);
+    }
+    if (phase == Phase::kStop) return;
+    run_shards_of(worker, phase, window_end);
+    bool last = false;
+    {
+      common::MutexLock lock(mu_);
+      last = --pending_ == 0;
+    }
+    if (last) done_cv_.notify_one();
+  }
+}
+
+void ShardedSim::run_shards_of(unsigned worker, Phase phase, Time window_end) {
+  // Static shard -> worker ownership: determinism needs only the protocol,
+  // but a stable owner also keeps thread-local pools (buffer/action caches)
+  // on a fixed thread per shard, so allocation counts are reproducible too.
+  for (std::uint32_t s = worker; s < shards_.size(); s += threads_) {
+    if (enter_shard_) enter_shard_(s);
+    if (phase == Phase::kAdvance) {
+      const std::uint64_t fired =
+          shards_[s].engine->run_until(window_end, cfg_.max_events_per_window);
+      SCALE_CHECK_MSG(fired < cfg_.max_events_per_window,
+                      "shard overran its per-window event budget");
+    } else {
+      std::uint64_t drained = 0;
+      router_.drain_into(s, [&](CrossShardMsg&& m) {
+        shards_[s].deliver(std::move(m));
+        ++drained;
+      });
+      relayed_by_worker_[worker] += drained;
+    }
+    if (exit_shard_) exit_shard_(s);
+  }
+}
+
+void ShardedSim::export_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  // Deliberately excludes the worker count: exported metrics land in bench
+  // JSON, which must stay byte-identical across --threads values.
+  reg.set_counter(prefix + ".windows", windows_);
+  reg.set_counter(prefix + ".messages_relayed", relayed_);
+  reg.set(prefix + ".shards", static_cast<double>(shards_.size()));
+  reg.set(prefix + ".lookahead_ms", cfg_.lookahead.to_ms());
+}
+
+}  // namespace scale::sim

@@ -1,0 +1,130 @@
+// ShardedSim — conservative parallel discrete-event simulation (DESIGN.md
+// §10).
+//
+// The world is split into shards (one sim::Engine each, normally one per DC)
+// coupled only through the fabric's cross-shard PDUs. Because every
+// cross-shard link has latency >= `lookahead` (the minimum cross-DC latency
+// from sim::Network), a shard executing inside the window
+// [barrier, barrier + lookahead) can never receive an event it has not
+// already been handed at the window's opening barrier: anything a peer sends
+// during the window arrives at or after the window's end. Each window is
+// therefore embarrassingly parallel, and the whole run is a sequence of
+//
+//   advance(all shards to W) -> barrier -> drain(mailboxes) -> barrier
+//
+// steps. The logical schedule — window boundaries, per-engine event order,
+// mailbox drain order — depends only on the world and the lookahead, never
+// on the worker count, which is how `--threads=1/2/8` produce byte-identical
+// results: threads change who executes a shard's window, not what it
+// contains.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/time.h"
+#include "sim/mailbox.h"
+
+namespace scale::obs {
+class MetricsRegistry;
+}  // namespace scale::obs
+
+namespace scale::sim {
+
+class Engine;
+
+/// Coordinates N engine shards over a persistent worker pool.
+///
+/// Threading model: the constructing thread is worker 0 and doubles as the
+/// coordinator; `threads-1` additional workers are spawned (none for
+/// threads=1, which runs the identical window protocol inline). Shard s is
+/// statically owned by worker s % threads, so a shard's engine, mailbox
+/// column, and thread-local pools are touched by exactly one thread per
+/// phase; the mutex/condvar handshake around each phase provides the
+/// happens-before edges that make the phase-disciplined mailbox accesses
+/// race-free.
+class ShardedSim {
+ public:
+  struct Shard {
+    Engine* engine = nullptr;
+    /// Deliver one drained cross-shard message into this shard (schedule its
+    /// arrival on `engine`). Runs on the shard's owning worker, strictly
+    /// between windows.
+    std::function<void(CrossShardMsg&&)> deliver;
+  };
+
+  struct Config {
+    unsigned threads = 1;
+    Duration lookahead = Duration::zero();  ///< must be > 0
+    /// Safety valve: max events one shard may fire inside one window.
+    std::uint64_t max_events_per_window = UINT64_MAX;
+  };
+
+  ShardedSim(ShardRouter& router, std::vector<Shard> shards, Config cfg);
+  ~ShardedSim();
+  ShardedSim(const ShardedSim&) = delete;
+  ShardedSim& operator=(const ShardedSim&) = delete;
+
+  /// Hooks run on the owning worker around every per-shard phase (advance
+  /// and drain): enter(shard) before, exit(shard) after. The testbed uses
+  /// them to install the shard's thread-local Tracer. Set before run_until.
+  void set_shard_scope(
+      std::function<void(std::uint32_t)> enter,   // lint: by-value-ok — sink,
+      std::function<void(std::uint32_t)> exit);   // moved once per run setup
+
+  /// Advance every shard to exactly `target` via conservative windows.
+  /// Callable repeatedly; all engines share the same clock at return.
+  void run_until(Time target);
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  unsigned threads() const { return threads_; }
+  std::uint64_t windows_run() const { return windows_; }
+  std::uint64_t messages_relayed() const { return relayed_; }
+
+  /// "sharded.windows", "sharded.messages_relayed", "sharded.threads".
+  void export_metrics(obs::MetricsRegistry& reg,
+                      const std::string& prefix) const;
+
+ private:
+  enum class Phase : std::uint8_t { kAdvance, kDrain, kStop };
+
+  void worker_loop(unsigned worker);
+  void run_phase(Phase phase, Time window_end);          // coordinator side
+  void run_shards_of(unsigned worker, Phase phase, Time window_end);
+  Time min_next_event_time();
+
+  ShardRouter& router_;
+  std::vector<Shard> shards_;
+  Config cfg_;
+  unsigned threads_;  ///< pool size incl. this thread; capped at shard count
+
+  std::function<void(std::uint32_t)> enter_shard_;
+  std::function<void(std::uint32_t)> exit_shard_;
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t relayed_ = 0;  ///< cross-shard messages drained, coordinator-
+                               ///< summed at barriers (workers report via
+                               ///< relayed_by_worker_)
+
+  // Pool handshake: the epoch bump + pending countdown double as the
+  // per-phase barrier, and the lock/unlock pairs are the happens-before
+  // edges that publish each phase's mailbox and engine mutations.
+  common::Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  std::uint64_t epoch_ SCALE_GUARDED_BY(mu_) = 0;
+  Phase phase_ SCALE_GUARDED_BY(mu_) = Phase::kAdvance;
+  std::int64_t window_end_us_ SCALE_GUARDED_BY(mu_) = 0;
+  unsigned pending_ SCALE_GUARDED_BY(mu_) = 0;
+  std::vector<std::uint64_t> relayed_by_worker_;
+  std::vector<std::thread> pool_;  ///< workers 1..threads_-1
+};
+
+}  // namespace scale::sim

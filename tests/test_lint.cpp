@@ -204,21 +204,23 @@ TEST(ScaleLintJson, RealTreeReportIsCleanAndInventoriesWaivers) {
   for (const auto& p : problems) ADD_FAILURE() << p;
   EXPECT_EQ(doc->find("findings")->size(), 0u);
   // The audited singletons (BufferPool::local, block_freelist,
-  // action_block_freelist, Tracer::current_) plus the L2 waivers must all
+  // action_block_freelist, Tracer::current_) plus the L2/L5 waivers must all
   // be inventoried — the report is how a reviewer sees the audit surface.
-  EXPECT_GE(doc->find("waivers")->size(), 10u);
+  // Since ShardedSim made Tracer::current_ thread_local the tree holds no
+  // shard-shared singleton at all (every audited global is per-worker), so
+  // the real tree asserts shard-local presence and only *validates* any
+  // shard-shared waiver that ever reappears; the fixture tree keeps the
+  // shard-shared kind itself exercised.
+  EXPECT_GE(doc->find("waivers")->size(), 12u);
   bool saw_shard_local = false;
-  bool saw_shard_shared = false;
   for (const auto& w : doc->find("waivers")->elements()) {
     if (w.find("kind")->as_string() == "shard-local") saw_shard_local = true;
     if (w.find("kind")->as_string() == "shard-shared") {
-      saw_shard_shared = true;
       EXPECT_FALSE(w.find("reason")->as_string().empty())
           << w.find("file")->as_string();
     }
   }
   EXPECT_TRUE(saw_shard_local);
-  EXPECT_TRUE(saw_shard_shared);
   // The validator binary agrees (the tier-1 lint leg runs this mode).
   const LintRun check = run_json_check("--lint " + path);
   EXPECT_EQ(check.exit_code, 0) << check.output;
