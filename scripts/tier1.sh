@@ -26,6 +26,12 @@ build/tools/obs/bench_json_check build/BENCH_fig6_analysis.json
 build/bench/ablation_overload --json build/BENCH_ablation_overload.json \
   >/dev/null
 build/tools/obs/bench_json_check build/BENCH_ablation_overload.json
+# Full (non-quick) run: the binary's exit code enforces the steering win
+# condition (an alternative policy beating the ring under the slow-VM
+# script), so a regression in any policy fails tier-1 here.
+build/bench/ablation_steering --json build/BENCH_ablation_steering.json \
+  >/dev/null
+build/tools/obs/bench_json_check build/BENCH_ablation_steering.json
 
 # Perf-smoke leg (DESIGN.md §8): run the hot-path microbench and diff its
 # allocation counters against the committed baseline. Alloc counts — not

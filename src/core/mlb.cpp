@@ -11,7 +11,10 @@ Mlb::Mlb(Fabric& fabric, Config cfg)
       rel_(fabric, node_),
       cpu_(fabric.engine(), cfg.cpu_speed),
       util_(fabric.engine(), cpu_),
-      ring_(cfg.ring), next_tmsi_(cfg.tmsi_base) {}
+      ring_(cfg.steering.ring),
+      view_(MmpLoadView::Config{cfg.steering.ewma_alpha}),
+      policy_(make_steering_policy(cfg.steering)),
+      next_tmsi_(cfg.tmsi_base) {}
 
 Mlb::~Mlb() {
   util_.stop();
@@ -23,7 +26,7 @@ void Mlb::apply_membership(
     std::uint64_t version) {
   if (version <= ring_version_ && ring_version_ != 0) return;
   ring_version_ = version;
-  ring_ = hash::ConsistentHashRing(cfg_.ring);
+  ring_ = hash::ConsistentHashRing(cfg_.steering.ring);
   code_to_node_.clear();
   for (const auto& m : members) {
     ring_.add_node(m.node);
@@ -31,10 +34,9 @@ void Mlb::apply_membership(
   }
 }
 
-double Mlb::load_of(NodeId mmp) const {
-  const auto it = loads_.find(mmp);
-  return it == loads_.end() ? 0.0 : it->second;
-}
+double Mlb::load_of(NodeId mmp) const { return view_.load_of(mmp); }
+
+bool Mlb::has_load_report(NodeId mmp) const { return view_.has_report(mmp); }
 
 proto::Guti Mlb::allocate_guti() {
   proto::Guti g;
@@ -50,32 +52,15 @@ NodeId Mlb::node_of_code(std::uint8_t code) const {
   return it == code_to_node_.end() ? 0 : it->second;
 }
 
-bool Mlb::in_backoff(NodeId mmp, Time now) const {
-  const auto it = shed_until_.find(mmp);
-  return it != shed_until_.end() && now < it->second;
-}
-
-NodeId Mlb::pick_least_loaded(
-    const std::vector<hash::RingNodeId>& prefs) const {
-  SCALE_CHECK(!prefs.empty());
-  // Candidates inside a shed-backoff window lose to any candidate outside
-  // one; within a class, least load wins with first-in-list tie-break (the
-  // seed behaviour when no sheds are active).
-  const Time now = fabric_.engine().now();
-  NodeId best = 0;
-  bool best_shed = true;
-  double best_load = 0.0;
-  for (const hash::RingNodeId candidate : prefs) {
-    const bool shed = in_backoff(candidate, now);
-    const double load = load_of(candidate);
-    if (best == 0 || (!shed && best_shed) ||
-        (shed == best_shed && load < best_load)) {
-      best = candidate;
-      best_shed = shed;
-      best_load = load;
-    }
-  }
-  return best;
+NodeId Mlb::steer(std::uint64_t key,
+                  const std::vector<hash::RingNodeId>& candidates) {
+  SCALE_CHECK(!candidates.empty());
+  const SteeringContext ctx{key, candidates, ring_, view_,
+                            fabric_.engine().now()};
+  const SteeringDecision d = policy_->pick(ctx);
+  SCALE_CHECK(d.target != 0);
+  ++steer_by_reason_[static_cast<std::size_t>(d.reason)];
+  return d.target;
 }
 
 void Mlb::forward(NodeId mmp, NodeId origin, const proto::Guti& guti,
@@ -90,11 +75,13 @@ void Mlb::forward(NodeId mmp, NodeId origin, const proto::Guti& guti,
 
 void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   ++overload_rejects_;
-  if (rej.procedure < 6)
+  if (rej.procedure < proto::kProcedureTypeCount)
     ++rejects_by_type_[static_cast<std::size_t>(rej.procedure)];
   const Time now = fabric_.engine().now();
-  shed_until_[rej.mmp_node] =
-      now + Duration::us(static_cast<std::int64_t>(rej.backoff_us));
+  view_.on_reject(rej.mmp_node,
+                  now + Duration::us(static_cast<std::int64_t>(
+                            rej.backoff_us)));
+  policy_->on_overload_reject(rej.mmp_node, now);
   if (rej.inner == nullptr) return;  // pure backoff hint, nothing to re-steer
   if (ring_.empty()) {
     ++unroutable_;
@@ -103,13 +90,15 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   // Re-steer to the best alternative, excluding the shedder when the
   // preference list offers one. no_offload marks the forward as final so the
   // replica can neither geo-offload nor shed it back (ping-pong guard).
-  const auto prefs = ring_.preference_list(rej.guti.key(), cfg_.choices);
+  const auto prefs =
+      ring_.preference_list(rej.guti.key(), policy_->candidate_width());
   std::vector<hash::RingNodeId> alternatives;
   alternatives.reserve(prefs.size());
   for (const hash::RingNodeId c : prefs)
     if (c != rej.mmp_node) alternatives.push_back(c);
-  const NodeId target =
-      alternatives.empty() ? rej.mmp_node : pick_least_loaded(alternatives);
+  const NodeId target = alternatives.empty()
+                            ? rej.mmp_node
+                            : steer(rej.guti.key(), alternatives);
   // Graduated sheds (level > 0) of deferrable work are dropped outright
   // when the re-steer would be futile: every candidate is already backing
   // off, or even the least-loaded target reports drop_load_limit — i.e. it
@@ -120,7 +109,7 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
   // binary sheds (level 0) keep the PR 1 always-re-steer behaviour.
   bool all_backed_off = true;
   for (const hash::RingNodeId c : alternatives)
-    if (!in_backoff(c, now)) all_backed_off = false;
+    if (!view_.in_backoff(c, now)) all_backed_off = false;
   const auto ptype = static_cast<proto::ProcedureType>(rej.procedure);
   const bool deferrable =
       ptype == proto::ProcedureType::kTrackingAreaUpdate ||
@@ -130,7 +119,8 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
       deferrable || rej.level >= static_cast<std::uint8_t>(
                                      core::PressureLevel::kOverload);
   if (rej.level > 0 && droppable &&
-      (all_backed_off || load_of(target) >= cfg_.drop_load_limit)) {
+      (all_backed_off ||
+       view_.effective_load(target) >= cfg_.steering.drop_load_limit)) {
     ++overload_drops_;
     if (obs::Tracer* tr = obs::Tracer::current()) {
       obs::Json args = obs::Json::object();
@@ -155,11 +145,8 @@ void Mlb::handle_overload_reject(const proto::OverloadReject& rej) {
 }
 
 bool Mlb::under_pressure(Time now) const {
-  for (const auto& [mmp, until] : shed_until_)  // lint: order-independent
-    if (now < until) return true;
-  for (const auto& [mmp, load] : loads_)  // lint: order-independent
-    if (load >= cfg_.pressure_load_limit) return true;
-  return false;
+  return view_.any_backoff(now) ||
+         view_.any_load_at_least(cfg_.steering.pressure_load_limit);
 }
 
 void Mlb::maybe_backpressure(NodeId from) {
@@ -208,10 +195,11 @@ void Mlb::route_initial(NodeId from, const proto::InitialUeMessage& msg) {
     ++unroutable_;
     return;
   }
-  // Least-loaded among the R preference-list nodes — only at Idle→Active
+  // Policy steering among the preference-list nodes — only at Idle→Active
   // (§4.6: subsequent requests stick to the chosen VM until Idle).
-  const auto prefs = ring_.preference_list(guti.key(), cfg_.choices);
-  const NodeId chosen = pick_least_loaded(prefs);
+  const auto prefs =
+      ring_.preference_list(guti.key(), policy_->candidate_width());
+  const NodeId chosen = steer(guti.key(), prefs);
   ++initial_routed_;
   forward(chosen, from, guti, proto::make_pdu(msg));
 }
@@ -247,8 +235,10 @@ void Mlb::route_geo_reject(const proto::GeoReject& rej) {
   }
   // The remote DC could not serve it: process locally, without offloading
   // again (loop guard).
-  const auto prefs = ring_.preference_list(rej.guti.key(), cfg_.choices);
-  forward(pick_least_loaded(prefs), rej.origin, rej.guti, rej.inner->value,
+  const auto prefs =
+      ring_.preference_list(rej.guti.key(), policy_->candidate_width());
+  forward(steer(rej.guti.key(), prefs), rej.origin, rej.guti,
+          rej.inner->value,
           /*no_offload=*/true);
 }
 
@@ -323,7 +313,11 @@ void Mlb::receive(NodeId from, const proto::Pdu& pdu) {
             });
           } else if (const auto* load =
                          std::get_if<proto::LoadReport>(&family)) {
-            loads_[load->mmp_node] = load->cpu_util;
+            const Time now = fabric_.engine().now();
+            view_.on_report(load->mmp_node, load->cpu_util,
+                            load->active_devices, now);
+            const auto it = view_.entries().find(load->mmp_node);
+            policy_->on_load_report(load->mmp_node, it->second, view_, now);
           } else if (const auto* ring_update =
                          std::get_if<proto::RingUpdate>(&family)) {
             apply_membership(ring_update->members, ring_update->version);
@@ -383,9 +377,25 @@ void Mlb::export_metrics(obs::MetricsRegistry& reg,
   reg.set(prefix + ".utilization", util_.utilization());
   reg.set(prefix + ".ring_version", static_cast<double>(ring_version_));
   rel_.export_metrics(reg, prefix + ".transport");
-  // Per-MMP load scalars, keyed by NodeId so names enumerate sorted.
-  for (const auto& [mmp, load] : loads_)  // lint: order-independent
-    reg.set(prefix + ".load." + std::to_string(mmp), load);
+  // Per-MMP load scalars, keyed by NodeId so names enumerate sorted. Only
+  // VMs that have reported appear — matching the seed's loads_ map surface.
+  for (const auto& [mmp, info] : view_.entries())
+    if (info.reported())
+      reg.set(prefix + ".load." + std::to_string(mmp), info.ewma);
+  // Steering counters only when a non-default configuration is active: the
+  // paper-default ring policy keeps the seed's exact metric key set so
+  // fig10 --json stays byte-identical to main.
+  if (cfg_.steering.policy != SteeringPolicyKind::kRingLeastLoaded ||
+      cfg_.steering.outlier_ejection) {
+    const std::string steer_prefix =
+        prefix + ".steer." + policy_->name();
+    for (std::size_t r = 0; r < kSteerReasonCount; ++r) {
+      reg.set_counter(steer_prefix + ".picks." +
+                          steer_reason_name(static_cast<SteerReason>(r)),
+                      steer_by_reason_[r]);
+    }
+    policy_->export_metrics(reg, steer_prefix);
+  }
 }
 
 }  // namespace scale::core

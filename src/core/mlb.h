@@ -4,8 +4,10 @@
 // request into the MMP cluster with *no per-device state*:
 //
 //   * Idle→Active requests (InitialUeMessage): MD5(GUTI) on the consistent
-//     hash ring → master + replica preference list → forward to the least
-//     loaded (per LoadReports) — §4.6's fine-grained load balancing;
+//     hash ring → preference list → the configured SteeringPolicy picks the
+//     target (DESIGN.md §11; the default RingLeastLoaded is §4.6's
+//     least-loaded-of-R fine-grained load balancing, byte-identical to the
+//     paper's design point);
 //   * Active-mode requests: routed on the MMP code the serving VM embedded
 //     in the S1AP MME-UE id (uplink NAS, path switch) or S11 TEID;
 //   * S6 answers: routed on the echoed Diameter hop-by-hop ref;
@@ -14,13 +16,18 @@
 //   * unregistered devices get their GUTI assigned here, *before* routing
 //     (§4.3.1).
 //
-// The only metadata kept: the ring (membership) and one load scalar per MMP.
+// The only metadata kept: the ring (membership) and the MmpLoadView — one
+// load/backoff record per MMP VM, nothing per device.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "core/overload.h"
+#include "core/steering.h"
 #include "epc/fabric.h"
 #include "epc/reliable.h"
 #include "hash/ring.h"
@@ -39,13 +46,15 @@ class Mlb : public Endpoint {
     std::uint8_t mme_code = 1;  ///< the one logical MME the eNodeBs see
     std::uint16_t plmn = 1;
     std::uint16_t mme_group = 1;
-    /// Routing costs: ring lookups hash MD5 and consult the load map.
+    /// Routing costs: ring lookups hash MD5 and consult the load view.
     Duration initial_route_cost = Duration::us(35);
     Duration relay_cost = Duration::us(20);
-    /// Choose the least loaded among the first `choices` preference-list
-    /// entries (R = 2 in SCALE).
-    unsigned choices = 2;
-    hash::ConsistentHashRing::Config ring;
+    /// The steering knob group: policy selector, R (`choices`), drop /
+    /// pressure load limits, ring config, and the per-policy tuning
+    /// (aperture window, P2C width, outlier ejection). Defaults reproduce
+    /// the paper's design point exactly (see steering.h).
+    using Steering = core::SteeringConfig;
+    Steering steering;
     double cpu_speed = 1.0;
     /// First M-TMSI this MLB assigns; co-located MLB VMs of one pool use
     /// disjoint ranges so uncoordinated allocation stays collision-free.
@@ -57,17 +66,6 @@ class Mlb : public Endpoint {
     double enb_bucket_rate = 0.0;  ///< tokens (initials) per second
     double enb_bucket_burst = 50.0;
     Duration enb_backoff_window = Duration::ms(250.0);
-    /// Graduated sheds (OverloadReject.level > 0) of deferrable work are
-    /// dropped instead of re-steered when the best alternative's reported
-    /// load is at or above this (load_score folds in the governor band, so
-    /// ~3.0 means "utilization-saturated AND already shedding this class").
-    /// Binary sheds (level 0) always re-steer regardless.
-    double drop_load_limit = 3.0;
-    /// Edge backpressure also engages when any MMP's reported load reaches
-    /// this (a governed VM at Elevated reports util + band ≈ 2.0), so
-    /// pacing starts from the LoadReport stream instead of waiting for the
-    /// first OverloadReject round trip.
-    double pressure_load_limit = 2.0;
   };
 
   Mlb(Fabric& fabric, Config cfg);
@@ -91,7 +89,19 @@ class Mlb : public Endpoint {
     geo_sink_ = std::move(sink);
   }
 
+  /// Smoothed load this MLB holds for `mmp`, or core::kNoLoadReport (−1.0)
+  /// when the VM has never sent a LoadReport. "Never reported" is NOT
+  /// "load 0": steering treats a silent VM as an optimistic unknown (it
+  /// still receives traffic), but callers comparing loads must check
+  /// has_load_report() first.
   double load_of(NodeId mmp) const;
+  bool has_load_report(NodeId mmp) const;
+  const MmpLoadView& load_view() const { return view_; }
+  const SteeringPolicy& steering() const { return *policy_; }
+  /// Picks attributed to `reason` by the active policy.
+  std::uint64_t steer_picks(SteerReason reason) const {
+    return steer_by_reason_[static_cast<std::size_t>(reason)];
+  }
 
   void receive(NodeId from, const proto::Pdu& pdu) override;
 
@@ -106,12 +116,18 @@ class Mlb : public Endpoint {
   std::uint64_t backpressure_signals() const { return backpressure_signals_; }
   /// Rejects split by the procedure type the shedding MMP reported.
   std::uint64_t overload_rejects_of(proto::ProcedureType p) const {
-    return rejects_by_type_[static_cast<std::size_t>(p)];
+    const auto idx = static_cast<std::size_t>(p);
+    SCALE_CHECK_MSG(idx < rejects_by_type_.size(),
+                    "ProcedureType outside the counter table");
+    return rejects_by_type_[idx];
   }
   const epc::ReliableChannel& transport() const { return rel_; }
 
   /// Publish routing counters + load map under `prefix` ("mlb.relays",
-  /// "mlb.load.<node>", ...). Read-only.
+  /// "mlb.load.<node>", ...). Non-default steering policies additionally
+  /// export "mlb.steer.<policy>.*" (pick reasons, ejections, probes); the
+  /// paper-default ring policy keeps the seed's exact metric surface so
+  /// fig10 --json stays byte-identical. Read-only.
   void export_metrics(obs::MetricsRegistry& reg,
                       const std::string& prefix) const;
 
@@ -125,11 +141,13 @@ class Mlb : public Endpoint {
   void route_by_code(NodeId from, std::uint8_t code, const proto::Pdu& pdu);
   NodeId node_of_code(std::uint8_t code) const;
   proto::Guti allocate_guti();
-  NodeId pick_least_loaded(const std::vector<hash::RingNodeId>& prefs) const;
-  /// True while `mmp` is inside a shed-backoff window (OverloadReject hint).
-  bool in_backoff(NodeId mmp, Time now) const;
+  /// Ask the policy for a pick among `candidates` (a ring preference list,
+  /// possibly filtered) and account the decision.
+  NodeId steer(std::uint64_t key,
+               const std::vector<hash::RingNodeId>& candidates);
   void handle_overload_reject(const proto::OverloadReject& rej);
-  /// True while any MMP is inside a shed-backoff window.
+  /// True while any MMP is inside a shed-backoff window or reports load at
+  /// or above the pressure limit.
   bool under_pressure(Time now) const;
   /// Charge `from`'s token bucket for one Initial UE message; when dry,
   /// signal OverloadStart so the eNB paces at the edge.
@@ -144,12 +162,12 @@ class Mlb : public Endpoint {
   hash::ConsistentHashRing ring_;
   std::uint64_t ring_version_ = 0;
   std::unordered_map<std::uint8_t, NodeId> code_to_node_;
-  std::unordered_map<NodeId, double> loads_;
+  /// Per-MMP load/backoff metadata (replaces the seed's raw loads_ and
+  /// shed_until_ maps) — everything the SteeringPolicy reads.
+  MmpLoadView view_;
+  std::unique_ptr<SteeringPolicy> policy_;
   std::uint32_t next_tmsi_;
   std::function<void(NodeId, const proto::ClusterMessage&)> geo_sink_;
-  /// Shed-backoff windows per MMP: new Idle→Active work avoids these VMs
-  /// until the hinted deadline passes.
-  std::unordered_map<NodeId, Time> shed_until_;
   /// Edge-backpressure state, lazily created per eNB while pressure lasts.
   std::unordered_map<NodeId, TokenBucket> enb_buckets_;
   std::unordered_map<NodeId, Time> enb_signal_at_;
@@ -162,7 +180,8 @@ class Mlb : public Endpoint {
   std::uint64_t overload_resteers_ = 0;
   std::uint64_t overload_drops_ = 0;
   std::uint64_t backpressure_signals_ = 0;
-  std::uint64_t rejects_by_type_[6] = {0, 0, 0, 0, 0, 0};
+  std::array<std::uint64_t, proto::kProcedureTypeCount> rejects_by_type_{};
+  std::array<std::uint64_t, kSteerReasonCount> steer_by_reason_{};
 };
 
 }  // namespace scale::core

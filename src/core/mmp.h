@@ -12,6 +12,9 @@
 //     holds (self-healing after eviction).
 #pragma once
 
+#include <array>
+
+#include "common/check.h"
 #include "core/geo.h"
 #include "core/overload.h"
 #include "core/replication.h"
@@ -74,7 +77,10 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t overload_sheds() const { return overload_sheds_; }
   /// Sheds split by the procedure type of the rejected request.
   std::uint64_t sheds_of(proto::ProcedureType p) const {
-    return sheds_by_type_[static_cast<std::size_t>(p)];
+    const auto idx = static_cast<std::size_t>(p);
+    SCALE_CHECK_MSG(idx < sheds_by_type_.size(),
+                    "ProcedureType outside the counter table");
+    return sheds_by_type_[idx];
   }
   const OverloadGovernor& governor() const { return governor_; }
 
@@ -113,7 +119,7 @@ class MmpNode final : public mme::ClusterVm {
   std::uint64_t geo_rejects_ = 0;
   std::uint64_t forwarded_to_master_ = 0;
   std::uint64_t overload_sheds_ = 0;
-  std::uint64_t sheds_by_type_[6] = {0, 0, 0, 0, 0, 0};
+  std::array<std::uint64_t, proto::kProcedureTypeCount> sheds_by_type_{};
 };
 
 }  // namespace scale::core

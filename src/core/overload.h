@@ -28,9 +28,11 @@
 // iteration — so governed runs fingerprint and replay like ungoverned ones.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
+#include "common/check.h"
 #include "common/time.h"
 #include "proto/types.h"
 
@@ -157,7 +159,10 @@ class OverloadGovernor {
   std::uint64_t admitted() const { return admitted_; }
   std::uint64_t shed_total() const { return shed_total_; }
   std::uint64_t shed_of(proto::ProcedureType procedure) const {
-    return sheds_[static_cast<std::size_t>(procedure)];
+    const auto idx = static_cast<std::size_t>(procedure);
+    SCALE_CHECK_MSG(idx < sheds_.size(),
+                    "ProcedureType outside the counter table");
+    return sheds_[idx];
   }
   std::uint64_t level_changes() const { return level_changes_; }
 
@@ -180,7 +185,7 @@ class OverloadGovernor {
 
   std::uint64_t admitted_ = 0;
   std::uint64_t shed_total_ = 0;
-  std::uint64_t sheds_[6] = {0, 0, 0, 0, 0, 0};
+  std::array<std::uint64_t, proto::kProcedureTypeCount> sheds_{};
   std::uint64_t level_changes_ = 0;
   std::uint64_t ac_increases_ = 0;
   std::uint64_t ac_decreases_ = 0;

@@ -12,10 +12,12 @@
 // de-provisioned VM) instead of hanging the statistics.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
 
+#include "common/check.h"
 #include "common/time.h"
 #include "epc/enodeb.h"
 #include "proto/nas.h"
@@ -90,7 +92,10 @@ class Ue {
 
   // --- statistics -------------------------------------------------------
   std::uint64_t completed(proto::ProcedureType p) const {
-    return completed_[static_cast<int>(p)];
+    const auto idx = static_cast<std::size_t>(p);
+    SCALE_CHECK_MSG(idx < completed_.size(),
+                    "ProcedureType outside the counter table");
+    return completed_[idx];
   }
   std::uint64_t failures() const { return failures_; }
 
@@ -120,7 +125,7 @@ class Ue {
 
   CompletionSink on_complete_;
   FailureSink on_failure_;
-  std::uint64_t completed_[6] = {0, 0, 0, 0, 0, 0};
+  std::array<std::uint64_t, proto::kProcedureTypeCount> completed_{};
   std::uint64_t failures_ = 0;
 };
 

@@ -14,6 +14,7 @@
 // hardware (§3.1).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -88,7 +89,7 @@ class MmeApp {
   };
 
   struct Counters {
-    std::uint64_t procedures[6] = {0, 0, 0, 0, 0, 0};
+    std::array<std::uint64_t, proto::kProcedureTypeCount> procedures{};
     std::uint64_t auth_failures = 0;
     std::uint64_t unknown_context = 0;
     std::uint64_t rejects_sent = 0;

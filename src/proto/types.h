@@ -112,6 +112,15 @@ inline constexpr ProcedureType kAllProcedures[] = {
     ProcedureType::kHandover,      ProcedureType::kDetach,
 };
 
+/// Number of procedure types — THE size for per-procedure counter arrays
+/// (std::array<.., kProcedureTypeCount>), so growing the enum resizes every
+/// table instead of silently reading past a literal `[6]`.
+inline constexpr std::size_t kProcedureTypeCount =
+    sizeof(kAllProcedures) / sizeof(kAllProcedures[0]);
+static_assert(kProcedureTypeCount ==
+                  static_cast<std::size_t>(ProcedureType::kDetach) + 1,
+              "kAllProcedures must list every ProcedureType exactly once");
+
 }  // namespace scale::proto
 
 template <>

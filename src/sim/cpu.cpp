@@ -22,6 +22,11 @@ Time CpuModel::enqueue(Duration work) {
   return busy_until_;
 }
 
+void CpuModel::set_speed_factor(double factor) {
+  SCALE_CHECK(factor > 0.0);
+  speed_ = factor;
+}
+
 Duration CpuModel::backlog() const {
   const Time now = engine_.now();
   return busy_until_ > now ? busy_until_ - now : Duration::zero();

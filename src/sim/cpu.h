@@ -61,6 +61,15 @@ class CpuModel {
 
   double speed_factor() const { return speed_; }
 
+  /// Change the speed factor mid-run (fault scripting: a "slow VM" — noisy
+  /// neighbor, thermal throttle — is modeled by dropping this below 1.0 at
+  /// a scripted sim time, and restoring it later). Work already enqueued
+  /// keeps its original completion instants; only work submitted after the
+  /// change is scaled by the new factor — matching a real CPU whose
+  /// in-flight instructions finish at the old clock. Deterministic: callers
+  /// schedule the change via Engine::at/after.
+  void set_speed_factor(double factor);
+
  private:
   /// FIFO bookkeeping shared by every execute() instantiation: scale the
   /// work, extend the busy horizon, and return the completion instant.
