@@ -57,12 +57,13 @@ Point run(double low_fraction, std::uint64_t seed) {
   // Mark contexts: master lookup by IMSI ordering is not stable, so mark by
   // device identity through the cluster.
   std::size_t low_marked = 0;
-  w.cluster->for_each_master([&](mme::UeContext& ctx) {
-    const bool low = low_marked < cutoff;
-    ctx.rec.access_freq = low ? kLowWi : kHighWi;
-    ctx.epoch_hits = low ? 0 : 1;
-    if (low) ++low_marked;
-  });
+  w.cluster->for_each_master(
+      [&](epc::UeContextStore& store, mme::UeContext& ctx) {
+        const bool low = low_marked < cutoff;
+        ctx.rec.access_freq = low ? kLowWi : kHighWi;
+        store.set_epoch_hits(ctx, low ? 0 : 1);
+        if (low) ++low_marked;
+      });
 
   const auto report = w.cluster->run_epoch();
   w.tb.run_for(Duration::sec(3.0));  // migrations settle

@@ -1,0 +1,358 @@
+// Figure 12 (analysis companion) — queueing-model validation of the MMP
+// pool.
+//
+// Prados-Garzón et al. (arXiv:1512.02910, 1703.04445) model a virtualized
+// MME as a network of M/M/k stations and validate per-procedure sojourn
+// times against a packet-level simulator. This bench closes the same loop
+// for SCALE: drive Poisson Service-Request (and attach/detach) streams at a
+// swept utilization ρ, measure the *queueing* part of the end-to-end delay
+// (mean delay at ρ minus the mean at a near-idle calibration load — wire
+// latency, radio delay and the CPU slices themselves cancel), and compare
+// against closed forms from analysis/queue_model.h:
+//
+//   pinned  (local_copies = 1): every device's SRs go to its ring master,
+//     so each of the k MMPs is a private queue at λ/k — the M/D/1 random-
+//     split reference. This is the textbook validation leg: measured wait
+//     should sit just above md1_split (slice-size CV > 0).
+//   steered (local_copies = 2, §4.6 least-loaded-of-R): bracketed between
+//     M/D/k (perfect sharing) and a few multiples of the split bound —
+//     least-loaded steering on a stale load signal herds at high ρ, so it
+//     does not automatically beat the random split (ablation_steering
+//     studies the policy side; here the bracket is the assertion).
+//
+// Procedures visit the MMP CPU several times (SR: restore + finalize;
+// attach: ctx + auth + security + session), with release/replication work
+// as same-priority background load. The analytic curves therefore model
+// the pool at the *CPU-execution* level: arrival rate = executions/s,
+// service time = mean slice, and a procedure's wait = (queued visits) ×
+// per-visit W_q. Slice sizes vary (CV ≈ 0.5), so the measured points are
+// expected between the M/D/k and M/M/k curves — that bracket, plus the
+// pinned-vs-split agreement, is what the exit gates enforce.
+//
+// The S-GW, HSS and MLB are sped up 50× / 40× so the MMP pool is the only
+// queueing station — matching the single-station analytic model.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/queue_model.h"
+#include "mme/service_profile.h"
+#include "obs/bench_main.h"
+#include "proto/types.h"
+#include "scale_world.h"
+#include "workload/arrivals.h"
+
+namespace {
+
+using namespace scale;
+using analysis::QueueModel;
+
+constexpr unsigned kMmps = 6;
+
+// ------------------------------------------------------------------ costs
+// Execution-level cost model derived from the same ServiceProfile the MMPs
+// charge, so the analytic curves stay in sync with the simulator's slices.
+
+struct Costs {
+  double cycle_s = 0;   ///< MMP CPU per procedure cycle (seconds)
+  unsigned execs = 0;   ///< CPU executions per cycle (all classes)
+  unsigned visits = 0;  ///< executions the measured procedure waits behind
+};
+
+/// One SR cycle: SR(parse+restore), MBR-response(parse+finalize), then the
+/// inactivity release (idle_release + parse of the bearer-release response).
+/// Steered adds two replica sync rounds (push + apply) — after the SR and
+/// after the idle transition.
+Costs sr_costs(bool steered) {
+  const mme::ServiceProfile p;
+  Costs c;
+  c.cycle_s = (p.parse + p.service_restore + p.parse + p.service_finalize +
+               p.idle_release + p.parse)
+                  .to_sec();
+  c.execs = 4;
+  c.visits = 2;
+  if (steered) {
+    c.cycle_s += ((p.replica_push + p.replica_apply) * 2.0).to_sec();
+    c.execs += 4;
+  }
+  return c;
+}
+
+/// One first-attach cycle under the default (replicated) config: the
+/// four-visit attach pipeline, the replica round after the attach, the
+/// inactivity release, and the replica round after the idle transition.
+/// The attach itself waits behind its 4 visits.
+Costs attach_costs() {
+  const mme::ServiceProfile p;
+  Costs c;
+  const Duration attach = p.parse + p.attach_ctx + p.parse + p.auth_check +
+                          p.parse + p.security_setup + p.parse +
+                          p.session_mgmt;
+  const Duration repl = (p.replica_push + p.replica_apply) * 2.0;
+  const Duration release = p.idle_release + p.parse;
+  c.cycle_s = (attach + repl + release).to_sec();
+  c.execs = 10;
+  c.visits = 4;
+  return c;
+}
+
+struct Pred {
+  double offered_per_s;  ///< procedure-cycle arrival rate at this ρ
+  double mmk_ms;
+  double mdk_ms;
+  double md1_split_ms;
+};
+
+Pred predict(const Costs& c, double rho) {
+  Pred out;
+  out.offered_per_s = rho * static_cast<double>(kMmps) / c.cycle_s;
+  const double lam_x = out.offered_per_s * static_cast<double>(c.execs);
+  const double mu = static_cast<double>(c.execs) / c.cycle_s;
+  const double v = static_cast<double>(c.visits);
+  out.mmk_ms = v * QueueModel::mmk_wq(kMmps, lam_x, mu) * 1e3;
+  out.mdk_ms = v * QueueModel::mdk_wq(kMmps, lam_x, mu) * 1e3;
+  out.md1_split_ms =
+      v * QueueModel::md1_wq(lam_x / static_cast<double>(kMmps), mu) * 1e3;
+  return out;
+}
+
+// ------------------------------------------------------------------- runs
+
+struct RunScale {
+  std::size_t devices;
+  Duration reg_window;
+  Duration warm;
+  Duration measure;
+};
+
+RunScale scale_for(bool quick) {
+  if (quick)
+    return {6000, Duration::sec(20.0), Duration::sec(1.0), Duration::sec(3.0)};
+  return {20000, Duration::sec(40.0), Duration::sec(3.0), Duration::sec(8.0)};
+}
+
+core::ScaleCluster::Config world_cfg(unsigned copies, std::uint64_t seed) {
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = kMmps;
+  cfg.ring_tokens = 512;  // flatten the hash split so λ/k per VM holds
+  cfg.policy.local_copies = copies;
+  cfg.vm_template.app.profile.inactivity_timeout = Duration::ms(400.0);
+  // Least-loaded-of-R steering herds badly on a 100 ms-stale load signal at
+  // these per-VM rates (a misordered window piles tens of ms of backlog on
+  // one VM); sample and report fast enough that candidate ordering tracks
+  // the actual queues.
+  cfg.vm_template.load_report_interval = Duration::ms(2.0);
+  cfg.vm_template.util_sample_interval = Duration::ms(2.0);
+  // Front-end and neighbor stations out of the way: the model has one
+  // queueing station (the MMP pool).
+  cfg.mlb.cpu_speed = 40.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct RunOpts {
+  unsigned copies = 2;
+  /// true: register the pool up front and measure steady-state procedures.
+  /// false: start deregistered and let the driver issue first attaches —
+  /// each device attaches once, so the stream stays open-loop Poisson.
+  bool preregister = true;
+  std::size_t devices = 0;  ///< 0 = RunScale default
+};
+
+/// Mean end-to-end delay (ms) of `proc` under a Poisson driver with `mix`
+/// at `rate` arrivals/s. Fresh world per point: queues, load views and
+/// inactivity timers never leak across measurements.
+double mean_delay_ms(const RunOpts& opts, const workload::ProcedureMix& mix,
+                     proto::ProcedureType proc, double rate,
+                     std::uint64_t seed, const RunScale& rs) {
+  bench::ScaleWorld w(world_cfg(opts.copies, seed), /*enbs=*/2, seed);
+  w.site->sgw->cpu().set_speed_factor(50.0);
+  w.tb.hss().cpu().set_speed_factor(50.0);
+  w.tb.make_ues(*w.site, opts.devices != 0 ? opts.devices : rs.devices,
+                {0.5});
+  if (opts.preregister)
+    w.tb.register_all(*w.site, rs.reg_window, Duration::sec(4.0));
+
+  std::vector<epc::Ue*> devices;
+  for (const auto& ue : w.site->ues)
+    if (!opts.preregister || ue->registered()) devices.push_back(ue.get());
+
+  workload::OpenLoopDriver::Config drv;
+  drv.rate_per_sec = rate;
+  drv.mix = mix;
+  drv.seed = seed + 7;
+  workload::OpenLoopDriver driver(w.tb.engine(), devices, drv);
+  driver.start(w.tb.engine().now() + rs.warm + rs.measure +
+               Duration::sec(1.0));
+  w.tb.run_for(rs.warm);
+  w.tb.delays().clear();
+  w.tb.run_for(rs.measure);
+  if (std::getenv("FIG12_DEBUG") != nullptr) {
+    std::fprintf(stderr, "rate=%.0f copies=%u:", rate, opts.copies);
+    for (auto& m : w.cluster->mmps())
+      std::fprintf(stderr, " [req=%llu push=%llu apply=%llu util=%.2f]",
+                   (unsigned long long)m->requests_handled(),
+                   (unsigned long long)m->replicas_pushed(),
+                   (unsigned long long)m->replicas_applied(),
+                   m->utilization());
+    std::fprintf(stderr, " p50=%.3f p99=%.3f max=%.3f n=%llu\n",
+                 w.tb.delays().bucket(proc).percentile(0.5),
+                 w.tb.delays().bucket(proc).percentile(0.99),
+                 w.tb.delays().bucket(proc).max(),
+                 (unsigned long long)w.tb.delays().bucket(proc).count());
+  }
+  return w.tb.mean_ms(proc);
+}
+
+struct Sweep {
+  std::vector<double> meas_wq_ms;  ///< one per swept ρ, calibration removed
+};
+
+/// Size a first-attach run's device pool: enough fresh (deregistered)
+/// devices that the driver can keep drawing until the measurement ends.
+std::size_t attach_pool(double rate, const RunScale& rs) {
+  const double span =
+      (rs.warm + rs.measure + Duration::sec(2.0)).to_sec();
+  return static_cast<std::size_t>(rate * span * 1.6) + 1000;
+}
+
+Sweep sweep(RunOpts opts, const workload::ProcedureMix& mix,
+            proto::ProcedureType proc, const Costs& costs,
+            const std::vector<double>& rhos, double cal_rho,
+            std::uint64_t seed, const RunScale& rs) {
+  const double cal_rate = predict(costs, cal_rho).offered_per_s;
+  if (!opts.preregister) opts.devices = attach_pool(cal_rate, rs);
+  const double cal = mean_delay_ms(opts, mix, proc, cal_rate, seed, rs);
+  Sweep out;
+  for (double rho : rhos) {
+    const double rate = predict(costs, rho).offered_per_s;
+    if (!opts.preregister) opts.devices = attach_pool(rate, rs);
+    const double m = mean_delay_ms(opts, mix, proc, rate, seed, rs);
+    out.meas_wq_ms.push_back(std::max(0.0, m - cal));
+  }
+  return out;
+}
+
+bool monotone(const std::vector<double>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] <= v[i - 1]) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchMain bm(argc, argv, "fig12_mmk",
+                    "Analytic M/M/k / M/D/k validation of MMP-pool queueing "
+                    "(after Prados-Garzon et al.)");
+  const bool quick = bm.quick();
+  const RunScale rs = scale_for(quick);
+  const std::vector<double> rhos = {0.30, 0.55, 0.80};
+  const double cal_rho = 0.05;
+
+  workload::ProcedureMix sr_mix;
+  sr_mix.service_request = 1.0;
+  workload::ProcedureMix attach_mix;
+  attach_mix.service_request = 0.0;
+  attach_mix.attach = 1.0;
+
+  const Costs pinned_c = sr_costs(false);
+  const Costs steered_c = sr_costs(true);
+  const Costs attach_c = attach_costs();
+
+  const Sweep pinned =
+      sweep({.copies = 1}, sr_mix, proto::ProcedureType::kServiceRequest,
+            pinned_c, rhos, cal_rho, 42, rs);
+  const Sweep steered =
+      sweep({.copies = 2}, sr_mix, proto::ProcedureType::kServiceRequest,
+            steered_c, rhos, cal_rho, 52, rs);
+  const Sweep attach =
+      sweep({.copies = 2, .preregister = false}, attach_mix,
+            proto::ProcedureType::kAttach, attach_c, rhos, cal_rho, 62, rs);
+
+  auto& sr_sec = bm.report().section(
+      "Fig 12(a): Service-Request queueing delay vs analytic models");
+  sr_sec.columns({"variant", "rho", "offered_per_s", "meas_wq_ms", "mmk_ms",
+                  "mdk_ms", "md1_split_ms"});
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    const Pred p = predict(pinned_c, rhos[i]);
+    sr_sec.row("pinned", {rhos[i], p.offered_per_s, pinned.meas_wq_ms[i],
+                          p.mmk_ms, p.mdk_ms, p.md1_split_ms});
+  }
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    const Pred p = predict(steered_c, rhos[i]);
+    sr_sec.row("steered", {rhos[i], p.offered_per_s, steered.meas_wq_ms[i],
+                           p.mmk_ms, p.mdk_ms, p.md1_split_ms});
+  }
+  sr_sec.note(
+      "meas_wq = mean SR delay at rho minus the rho=0.05 calibration mean.\n"
+      "pinned (1 copy) tracks md1_split (random 1/k split; slightly above\n"
+      "it because slice sizes have CV>0 — Kingman's G/G/1 correction).\n"
+      "steered (2 copies, least-loaded-of-R on a 2 ms-stale signal) lands\n"
+      "between M/D/k (perfect sharing) and a few x md1_split: stale-signal\n"
+      "least-loaded herds at high rho (see ablation_steering), so it need\n"
+      "not beat the random split — the gate only pins the bracket.");
+
+  auto& at_sec = bm.report().section(
+      "Fig 12(b): attach queueing delay vs analytic models");
+  at_sec.columns({"rho", "offered_per_s", "meas_wq_ms", "mmk_ms", "mdk_ms"});
+  for (std::size_t i = 0; i < rhos.size(); ++i) {
+    const Pred p = predict(attach_c, rhos[i]);
+    at_sec.row({rhos[i], p.offered_per_s, attach.meas_wq_ms[i], p.mmk_ms,
+                p.mdk_ms});
+  }
+  at_sec.note(
+      "Poisson first-attach stream over a fresh (deregistered) pool: the\n"
+      "attach pipeline's four CPU visits measured against the execution-\n"
+      "level M/M/k / M/D/k forms.");
+
+  const int rc = bm.finish();
+  if (rc != 0) return rc;
+  if (quick) return 0;  // numbers from a quick run are not gate-worthy
+
+  // Exit gates (tier-1 style: the binary's exit code is the assertion).
+  bool ok = true;
+  if (!monotone(pinned.meas_wq_ms) || !monotone(steered.meas_wq_ms)) {
+    std::fprintf(stderr, "fig12_mmk: queueing delay not monotone in rho\n");
+    ok = false;
+  }
+  const std::size_t hi = rhos.size() - 1;
+  const double pinned_ref = predict(pinned_c, rhos[hi]).md1_split_ms;
+  if (pinned.meas_wq_ms[hi] < 0.35 * pinned_ref ||
+      pinned.meas_wq_ms[hi] > 3.0 * pinned_ref) {
+    std::fprintf(stderr,
+                 "fig12_mmk: pinned wq %.3f ms at rho=%.2f outside "
+                 "[0.35, 3.0] x md1_split (%.3f ms)\n",
+                 pinned.meas_wq_ms[hi], rhos[hi], pinned_ref);
+    ok = false;
+  }
+  // Steered must stay inside the analytic bracket (herding headroom on the
+  // upper side) and must not be catastrophically worse than pinned — the
+  // regression this catches is a stale load signal (e.g. the 100 ms default
+  // sampling puts steered ~10x above pinned here).
+  const Pred sp = predict(steered_c, rhos[hi]);
+  if (steered.meas_wq_ms[hi] < 0.25 * sp.mdk_ms ||
+      steered.meas_wq_ms[hi] > 5.0 * sp.md1_split_ms ||
+      steered.meas_wq_ms[hi] > 3.0 * pinned.meas_wq_ms[hi]) {
+    std::fprintf(stderr,
+                 "fig12_mmk: steered wq %.3f ms at rho=%.2f outside "
+                 "[0.25 x mdk (%.3f), min(5 x md1_split (%.3f), 3 x "
+                 "pinned (%.3f))]\n",
+                 steered.meas_wq_ms[hi], rhos[hi], sp.mdk_ms,
+                 sp.md1_split_ms, pinned.meas_wq_ms[hi]);
+    ok = false;
+  }
+  const Pred ap = predict(attach_c, rhos[hi]);
+  if (!(attach.meas_wq_ms[hi] > attach.meas_wq_ms[0]) ||
+      attach.meas_wq_ms[hi] < 0.5 * ap.mdk_ms ||
+      attach.meas_wq_ms[hi] > 8.0 * ap.mmk_ms) {
+    std::fprintf(stderr,
+                 "fig12_mmk: attach wq %.3f ms at rho=%.2f not growing or "
+                 "outside [0.5 x mdk (%.3f), 8 x mmk (%.3f)]\n",
+                 attach.meas_wq_ms[hi], rhos[hi], ap.mdk_ms, ap.mmk_ms);
+    ok = false;
+  }
+  if (!ok) return 4;
+  return 0;
+}

@@ -11,16 +11,29 @@
 // numbers are reported for humans and for the BENCH_core.json trajectory,
 // but never gated on.
 //
+// The fig10_1m_capacity section is the MillionUE gate (ROADMAP item 2): a
+// full ScaleCluster holding 10⁶ UE contexts (fig 10's world at the paper's
+// original scale), measuring load rate, resident bytes per UE against the
+// DESIGN.md §12 budget, a Service-Request storm through the MLB→MMP path,
+// and a provisioning-epoch sweep. Peak-RSS and events/s baselines are gated
+// by `bench_json_check --compare-capacity`. --quick runs the same phases at
+// 100 K UEs for the sanitizer legs (numbers not comparable to baselines).
+//
 // scripts/bench_baseline.sh runs this with --json to (re)write the committed
 // BENCH_core.json at the repo root; see EXPERIMENTS.md ("perf_core").
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <new>
+#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "common/time.h"
+#include "core/cluster.h"
 #include "epc/fabric.h"
 #include "obs/bench_main.h"
 #include "proto/buffer_pool.h"
@@ -130,24 +143,26 @@ void tick(sim::Engine& eng, std::uint64_t& fired, std::uint64_t budget,
             [&eng, &fired, budget, lane] { tick(eng, fired, budget, lane); });
 }
 
-PhaseResult phase_engine_timer_ring() {
-  return run_phase([](PhaseResult& r) {
+PhaseResult phase_engine_timer_ring(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
     sim::Engine eng;
     std::uint64_t fired = 0;
-    constexpr std::uint64_t kBudget = 2'000'000;
+    const std::uint64_t kBudget = 2'000'000 / div;
     constexpr std::uint32_t kLanes = 512;
     for (std::uint32_t lane = 0; lane < kLanes; ++lane)
       eng.after(Duration::us(1 + lane % 29),
-                [&eng, &fired, lane] { tick(eng, fired, kBudget, lane); });
+                [&eng, &fired, kBudget, lane] {
+                  tick(eng, fired, kBudget, lane);
+                });
     eng.run();
     r.ops = eng.events_processed();
   });
 }
 
-PhaseResult phase_engine_cancel_churn() {
-  return run_phase([](PhaseResult& r) {
+PhaseResult phase_engine_cancel_churn(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
     sim::Engine eng;
-    constexpr std::uint64_t kRounds = 500'000;
+    const std::uint64_t kRounds = 500'000 / div;
     std::uint64_t guard_fired = 0;
     std::uint64_t cancelled = 0;
     for (std::uint64_t i = 0; i < kRounds; ++i) {
@@ -183,11 +198,11 @@ proto::Pdu transfer_pdu() {
   return proto::make_pdu(proto::StateTransfer{rec});
 }
 
-PhaseResult phase_codec_encode() {
-  return run_phase([](PhaseResult& r) {
+PhaseResult phase_codec_encode(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
     const proto::Pdu a = attach_pdu();
     const proto::Pdu b = transfer_pdu();
-    constexpr std::uint64_t kIters = 400'000;
+    const std::uint64_t kIters = 400'000 / div;
     std::uint64_t bytes = 0;
     for (std::uint64_t i = 0; i < kIters; ++i) {
       proto::PooledBuffer buf = proto::encode_pdu_pooled(i % 2 == 0 ? a : b);
@@ -198,11 +213,11 @@ PhaseResult phase_codec_encode() {
   });
 }
 
-PhaseResult phase_codec_decode() {
-  return run_phase([](PhaseResult& r) {
+PhaseResult phase_codec_decode(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
     const std::vector<std::uint8_t> a = proto::encode_pdu(attach_pdu());
     const std::vector<std::uint8_t> b = proto::encode_pdu(transfer_pdu());
-    constexpr std::uint64_t kIters = 200'000;
+    const std::uint64_t kIters = 200'000 / div;
     std::uint64_t bytes = 0;
     for (std::uint64_t i = 0; i < kIters; ++i) {
       const proto::Pdu pdu = proto::decode_pdu(i % 2 == 0 ? a : b);
@@ -230,12 +245,12 @@ struct EchoEndpoint final : epc::Endpoint {
   }
 };
 
-PhaseResult phase_fabric_hop() {
-  return run_phase([](PhaseResult& r) {
+PhaseResult phase_fabric_hop(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
     sim::Engine eng;
     sim::Network net;
     epc::Fabric fabric(eng, net);
-    std::uint64_t remaining = 300'000;
+    std::uint64_t remaining = 300'000 / div;
     EchoEndpoint a(fabric);
     EchoEndpoint b(fabric);
     a.self = fabric.add_endpoint(&a);
@@ -251,9 +266,9 @@ PhaseResult phase_fabric_hop() {
   });
 }
 
-PhaseResult phase_buffer_pool() {
-  return run_phase([](PhaseResult& r) {
-    constexpr std::uint64_t kIters = 1'000'000;
+PhaseResult phase_buffer_pool(std::uint64_t div) {
+  return run_phase([div](PhaseResult& r) {
+    const std::uint64_t kIters = 1'000'000 / div;
     std::uint64_t bytes = 0;
     for (std::uint64_t i = 0; i < kIters; ++i) {
       proto::PooledBuffer buf =
@@ -289,13 +304,13 @@ struct RingEcho final : epc::Endpoint {
 /// One row per worker-pool size (8 is capped to the shard count); the
 /// logical schedule — and therefore ops — is identical across rows, only
 /// wall time and the per-worker pool warm-up allocations may differ.
-PhaseResult phase_sharded_step(unsigned threads) {
-  return run_phase([threads](PhaseResult& r) {
+PhaseResult phase_sharded_step(unsigned threads, std::uint64_t div) {
+  return run_phase([threads, div](PhaseResult& r) {
     constexpr std::uint32_t kShards = 4;
-    constexpr std::uint32_t kLanes = 4;       // timer lanes per shard
-    constexpr std::uint64_t kTicks = 30'000;  // per lane
-    constexpr std::uint64_t kSeeds = 8;       // ring messages per shard
-    constexpr std::uint64_t kHops = 10'000;   // echo budget per shard
+    constexpr std::uint32_t kLanes = 4;           // timer lanes per shard
+    const std::uint64_t kTicks = 30'000 / div;    // per lane
+    constexpr std::uint64_t kSeeds = 8;           // ring messages per shard
+    const std::uint64_t kHops = 10'000 / div;     // echo budget per shard
 
     sim::Network net;
     net.set_shard_count(kShards);
@@ -327,7 +342,7 @@ PhaseResult phase_sharded_step(unsigned threads) {
         sim::Engine& eng = *engines[s];
         std::uint64_t& f = fired[s * kLanes + lane];
         eng.after(Duration::us(1 + lane % 29),
-                  [&eng, &f, lane] { tick(eng, f, kTicks, lane); });
+                  [&eng, &f, kTicks, lane] { tick(eng, f, kTicks, lane); });
       }
     for (std::uint32_t s = 0; s < kShards; ++s)
       for (std::uint64_t i = 0; i < kSeeds; ++i)
@@ -355,6 +370,243 @@ PhaseResult phase_sharded_step(unsigned threads) {
   });
 }
 
+// ------------------------------------------------------------- fig10 @ 1M
+
+/// Kernel-reported memory figure from /proc/self/status ("VmRSS" = current
+/// resident set, "VmHWM" = peak). Returns 0 where /proc is unavailable —
+/// the capacity gates are skipped, not failed, on such platforms.
+std::uint64_t proc_status_bytes(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  const std::size_t flen = std::strlen(field);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, field, flen) == 0 && line[flen] == ':') {
+      std::sscanf(line + flen + 1, "%llu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kb) * 1024;
+}
+
+/// S-GW / HSS stand-in: the capacity world loads records without a live
+/// data session (invalid sgw_teid), so Service Requests complete entirely
+/// MME-side and these nodes only have to exist as fabric destinations.
+struct SinkEndpoint final : epc::Endpoint {
+  std::uint64_t received = 0;
+  void receive(sim::NodeId, const proto::Pdu&) override { ++received; }
+};
+
+/// The storm's eNodeB stand-in: fires seeded Service Requests at the MLB
+/// and tallies the S1AP traffic the cluster sends back. No responses are
+/// required — ICS responses and release completes are pure bookkeeping on
+/// the MME side (see MmeApp::handle_s1ap).
+struct StormEnb final : epc::Endpoint {
+  sim::Engine* eng = nullptr;
+  epc::Fabric* fabric = nullptr;
+  sim::NodeId self = 0;
+  sim::NodeId mlb = 0;
+  std::uint64_t budget = 0;
+  std::uint64_t sent = 0;
+  std::uint32_t ues = 0;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  Duration interval = Duration::us(10);
+
+  std::uint64_t accepts = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t releases = 0;
+
+  void send_one() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    proto::NasServiceRequest sr;
+    sr.mme_code = 1;
+    sr.m_tmsi = 1 + static_cast<std::uint32_t>((rng >> 33) % ues);
+    proto::InitialUeMessage msg;
+    msg.enb_id = static_cast<std::uint32_t>(self);  // releases route back
+    msg.enb_ue_id = static_cast<proto::EnbUeId>(sent + 1);
+    msg.tac = 7;
+    msg.nas = proto::NasMessage{sr};
+    fabric->send(self, mlb, proto::make_pdu(msg));
+    if (++sent < budget) eng->after(interval, [this] { send_one(); });
+  }
+
+  void receive(sim::NodeId, const proto::Pdu& pdu) override {
+    const auto* s1 = std::get_if<proto::S1apMessage>(&pdu);
+    if (s1 == nullptr) return;
+    if (const auto* dl = std::get_if<proto::DownlinkNasTransport>(s1)) {
+      if (std::holds_alternative<proto::NasServiceAccept>(dl->nas))
+        ++accepts;
+      else if (std::holds_alternative<proto::NasServiceReject>(dl->nas))
+        ++rejects;
+    } else if (std::holds_alternative<proto::UeContextReleaseCommand>(*s1)) {
+      ++releases;
+    }
+  }
+};
+
+struct CapacityRow {
+  const char* name;
+  PhaseResult r;
+  std::uint64_t peak_rss = 0;     ///< VmHWM after the phase
+  double bytes_per_ue = 0.0;      ///< load row only (RSS delta / UEs)
+};
+
+struct CapacityOut {
+  std::uint64_t ues = 0;
+  std::vector<CapacityRow> rows;
+  std::uint64_t footprint_bytes = 0;  ///< intrinsic store bytes (all VMs)
+  std::uint64_t delivery_batches = 0;
+  std::uint64_t batched_pdus = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t sent = 0;
+  bool ok = true;
+};
+
+/// The fig10 world at the paper's original scale: 8 MMP VMs mastering 10⁶
+/// contexts (bulk-loaded through MmeApp::adopt at their ring owner, the
+/// migration/restore install path), then a 100 K SR/s storm through the
+/// real MLB steering → MMP → ClusterReply path, then one provisioning
+/// epoch (the wᵢ EWMA epoch_scan, β, Eq. 1 sizing, geo selection) over the
+/// full population. --quick runs 100 K UEs / 20 K storm for sanitizers.
+CapacityOut run_capacity(bool quick) {
+  const std::uint64_t kUes = quick ? 100'000 : 1'000'000;
+  const std::uint64_t kStorm = quick ? 20'000 : 200'000;
+  constexpr double kBudgetBytesPerUe = 512.0;  // DESIGN.md §12 budget
+  CapacityOut out;
+  out.ues = kUes;
+
+  sim::Engine eng;
+  sim::Network net;
+  epc::Fabric fabric(eng, net);
+
+  SinkEndpoint sgw;
+  SinkEndpoint hss;
+  const sim::NodeId sgw_node = fabric.add_endpoint(&sgw);
+  const sim::NodeId hss_node = fabric.add_endpoint(&hss);
+
+  core::ScaleCluster::Config cfg;
+  cfg.initial_mmps = 8;
+  // Front-end and VM speeds sized so the 100 K SR/s storm runs the pool at
+  // moderate utilization — this phase measures throughput, not the
+  // overload knee (fig 8 / ablation_overload own that).
+  cfg.mlb.cpu_speed = 50.0;
+  cfg.vm_template.cpu_speed = 50.0;
+  cfg.vm_template.app.profile.inactivity_timeout = Duration::ms(400.0);
+  // Eq. 1 sizing that reproduces the running pool: V_S = ⌈β·R·K/S⌉ =
+  // ⌈1·2·K/(K/4)⌉ = 8, and a per-VM request budget large enough that V_C
+  // never binds — the epoch re-decides 8 VMs and migrates nothing.
+  cfg.provisioner.devices_per_vm = kUes / 4;
+  cfg.provisioner.requests_per_vm_epoch = 100'000'000;
+  cfg.seed = 4242;
+  core::ScaleCluster cluster(fabric, sgw_node, hss_node, cfg);
+
+  std::unordered_map<sim::NodeId, core::MmpNode*> by_node;
+  for (auto& mmp : cluster.mmps()) by_node[mmp->node()] = mmp.get();
+
+  const std::uint64_t rss_before = proc_status_bytes("VmRSS");
+
+  // ---- load: 10⁶ master contexts through adopt() at their ring owner.
+  CapacityRow load{"fig10_1m_load", {}, 0, 0.0};
+  load.r = run_phase([&](PhaseResult& r) {
+    for (std::uint64_t i = 0; i < kUes; ++i) {
+      proto::UeContextRecord rec;
+      rec.imsi = 100'000'000'000'000ull + i;
+      rec.guti = proto::Guti{1, 1, 1, static_cast<std::uint32_t>(i + 1)};
+      rec.access_freq = 0.5;
+      rec.home_dc = 0;
+      rec.sgw_node = static_cast<std::uint32_t>(sgw_node);
+      const sim::NodeId owner = cluster.ring().owner(rec.guti.key());
+      by_node.at(owner)->app().adopt(rec, epc::ContextRole::kMaster);
+    }
+    r.ops = kUes;
+  });
+  const std::uint64_t rss_loaded = proc_status_bytes("VmRSS");
+  load.peak_rss = proc_status_bytes("VmHWM");
+  if (rss_loaded > rss_before)
+    load.bytes_per_ue = static_cast<double>(rss_loaded - rss_before) /
+                        static_cast<double>(kUes);
+  out.rows.push_back(load);
+
+  const std::uint64_t loaded = cluster.registered_devices();
+  if (loaded != kUes) {
+    std::fprintf(stderr, "capacity: loaded %llu of %llu contexts\n",
+                 static_cast<unsigned long long>(loaded),
+                 static_cast<unsigned long long>(kUes));
+    out.ok = false;
+  }
+  if (!quick && load.bytes_per_ue > kBudgetBytesPerUe) {
+    std::fprintf(stderr, "capacity: %.1f bytes/UE exceeds the %.0f budget\n",
+                 load.bytes_per_ue, kBudgetBytesPerUe);
+    out.ok = false;
+  }
+
+  // ---- storm: seeded Idle→Active requests through MLB steering. The
+  // loaded records carry no S-GW session, so each SR completes MME-side
+  // (restore → ICS + ServiceAccept) and idles out 400 ms later.
+  StormEnb enb;
+  enb.eng = &eng;
+  enb.fabric = &fabric;
+  enb.self = fabric.add_endpoint(&enb);
+  enb.mlb = cluster.mlb().node();
+  enb.budget = kStorm;
+  enb.ues = static_cast<std::uint32_t>(kUes);
+  enb.interval = Duration::us(10);  // 100 K SR/s offered
+  const Duration storm_span =
+      Duration::us(10.0 * static_cast<double>(kStorm));
+
+  CapacityRow storm{"fig10_1m_storm", {}, 0, 0.0};
+  const std::uint64_t ev0 = eng.events_processed();
+  storm.r = run_phase([&](PhaseResult& r) {
+    eng.after(Duration::us(1), [&enb] { enb.send_one(); });
+    // The horizon covers the storm plus inactivity releases + drain.
+    eng.run_until(eng.now() + storm_span + Duration::sec(3.0));
+    r.ops = eng.events_processed() - ev0;
+  });
+  storm.peak_rss = proc_status_bytes("VmHWM");
+  out.rows.push_back(storm);
+  out.accepts = enb.accepts;
+  out.sent = enb.sent;
+  // A same-device SR racing an in-flight SR folds into one accept (the
+  // second txn supersedes the first); with 2·10⁵ draws over 10⁶ devices
+  // that is a handful of arrivals, hence the 99.5% floor.
+  if (enb.sent != kStorm ||
+      static_cast<double>(enb.accepts) <
+          0.995 * static_cast<double>(kStorm)) {
+    std::fprintf(stderr, "capacity: storm sent %llu, accepts %llu\n",
+                 static_cast<unsigned long long>(enb.sent),
+                 static_cast<unsigned long long>(enb.accepts));
+    out.ok = false;
+  }
+
+  // ---- sweep: one full provisioning epoch over the 10⁶ population — the
+  // epoch_scan wᵢ EWMA, β(x), Eq. 1 re-decision (stays at 8 VMs), Eq. 3
+  // probability scale, and geo selection.
+  CapacityRow sweep{"fig10_1m_sweep", {}, 0, 0.0};
+  sweep.r = run_phase([&](PhaseResult& r) {
+    const auto report = cluster.run_epoch();
+    eng.run_until(eng.now() + Duration::ms(500.0));
+    if (report.registered != loaded || report.decision.vms != 8) {
+      std::fprintf(stderr, "capacity: epoch saw %llu devices, decided %u\n",
+                   static_cast<unsigned long long>(report.registered),
+                   report.decision.vms);
+      out.ok = false;
+    }
+    r.ops = loaded;
+  });
+  sweep.peak_rss = proc_status_bytes("VmHWM");
+  out.rows.push_back(sweep);
+
+  for (auto& mmp : cluster.mmps()) {
+    mmp->app().store().audit();
+    out.footprint_bytes += mmp->app().store().footprint_bytes();
+  }
+  out.delivery_batches = fabric.delivery_batches();
+  out.batched_pdus = fabric.batched_pdus();
+  return out;
+}
+
 struct NamedPhase {
   const char* name;
   PhaseResult result;
@@ -365,23 +617,26 @@ struct NamedPhase {
 int main(int argc, char** argv) {
   obs::BenchMain bm(argc, argv, "perf_core",
                     "perf_core — engine/codec/fabric hot-path microbench");
+  const std::uint64_t div = bm.quick() ? 10 : 1;
 
   // Warm the per-thread pools once so the measured phases see steady state —
   // the regime every long simulation runs in after its first few events.
-  { auto warm = phase_buffer_pool(); (void)warm; }
+  { auto warm = phase_buffer_pool(div); (void)warm; }
 
   const NamedPhase phases[] = {
-      {"engine_timer_ring", phase_engine_timer_ring()},
-      {"engine_cancel_churn", phase_engine_cancel_churn()},
-      {"codec_encode", phase_codec_encode()},
-      {"codec_decode", phase_codec_decode()},
-      {"fabric_hop", phase_fabric_hop()},
-      {"buffer_pool", phase_buffer_pool()},
-      {"sharded_step_t1", phase_sharded_step(1)},
-      {"sharded_step_t2", phase_sharded_step(2)},
-      {"sharded_step_t4", phase_sharded_step(4)},
-      {"sharded_step_t8", phase_sharded_step(8)},
+      {"engine_timer_ring", phase_engine_timer_ring(div)},
+      {"engine_cancel_churn", phase_engine_cancel_churn(div)},
+      {"codec_encode", phase_codec_encode(div)},
+      {"codec_decode", phase_codec_decode(div)},
+      {"fabric_hop", phase_fabric_hop(div)},
+      {"buffer_pool", phase_buffer_pool(div)},
+      {"sharded_step_t1", phase_sharded_step(1, div)},
+      {"sharded_step_t2", phase_sharded_step(2, div)},
+      {"sharded_step_t4", phase_sharded_step(4, div)},
+      {"sharded_step_t8", phase_sharded_step(8, div)},
   };
+
+  const CapacityOut cap = run_capacity(bm.quick());
 
   auto& thr = bm.report().section("throughput");
   thr.columns({"ops", "wall_ms", "Mops_per_s", "MB_per_s"});
@@ -396,12 +651,46 @@ int main(int argc, char** argv) {
     alloc.row(name, {static_cast<double>(r.allocs),
                      static_cast<double>(r.alloc_bytes),
                      static_cast<double>(r.ops), r.allocs_per_op()});
+  for (const auto& row : cap.rows)
+    alloc.row(row.name, {static_cast<double>(row.r.allocs),
+                         static_cast<double>(row.r.alloc_bytes),
+                         static_cast<double>(row.r.ops),
+                         row.r.allocs_per_op()});
+
+  auto& capsec = bm.report().section("fig10_1m_capacity");
+  capsec.columns(
+      {"ues", "ops", "wall_ms", "ops_per_s", "peak_rss_bytes", "bytes_per_ue"});
+  for (const auto& row : cap.rows) {
+    const double ops_per_s =
+        row.r.wall_ns > 0 ? static_cast<double>(row.r.ops) * 1e9 /
+                                static_cast<double>(row.r.wall_ns)
+                          : 0.0;
+    capsec.row(row.name,
+               {static_cast<double>(cap.ues), static_cast<double>(row.r.ops),
+                static_cast<double>(row.r.wall_ns) / 1e6, ops_per_s,
+                static_cast<double>(row.peak_rss), row.bytes_per_ue});
+  }
 
   bm.report().note(
       "allocs are deterministic for a given toolchain and are the CI "
       "regression gate (tier1.sh); wall times are informational only. The "
       "sharded_step_t* rows run one logical schedule at 1/2/4/8 workers — "
-      "identical ops by construction; wall speedup needs >1 hardware core");
+      "identical ops by construction; wall speedup needs >1 hardware core.\n"
+      "fig10_1m_capacity holds 10^6 UE contexts on 8 MMP VMs (100k under "
+      "--quick): bytes_per_ue gates the DESIGN.md \xC2\xA7""12 slab/SoA "
+      "budget (<=512 B/UE resident); peak_rss_bytes and ops_per_s are "
+      "baseline-gated via bench_json_check --compare-capacity. This run: " +
+      std::to_string(cap.footprint_bytes / (cap.ues ? cap.ues : 1)) +
+      " intrinsic store B/UE, " + std::to_string(cap.accepts) + "/" +
+      std::to_string(cap.sent) + " SR accepts, " +
+      std::to_string(cap.delivery_batches) + " delivery batches folding " +
+      std::to_string(cap.batched_pdus) + " PDUs");
 
-  return bm.finish();
+  const int rc = bm.finish();
+  if (rc != 0) return rc;
+  if (!cap.ok) {
+    std::fprintf(stderr, "perf_core: fig10_1m capacity gate FAILED\n");
+    return 3;
+  }
+  return 0;
 }

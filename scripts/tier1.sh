@@ -32,20 +32,34 @@ build/tools/obs/bench_json_check build/BENCH_ablation_overload.json
 build/bench/ablation_steering --json build/BENCH_ablation_steering.json \
   >/dev/null
 build/tools/obs/bench_json_check build/BENCH_ablation_steering.json
+# Full run: exit code asserts the measured SR/attach queueing delays sit in
+# the analytic M/M/k / M/D/k / M/D/1-split brackets (bench/fig12_mmk.cpp).
+build/bench/fig12_mmk --json build/BENCH_fig12_mmk.json >/dev/null
+build/tools/obs/bench_json_check build/BENCH_fig12_mmk.json
 
 # Perf-smoke leg (DESIGN.md §8): run the hot-path microbench and diff its
 # allocation counters against the committed baseline. Alloc counts — not
 # wall times — are the gate: they are deterministic, so "someone put a heap
-# allocation back on the event path" fails tier-1 on any machine.
+# allocation back on the event path" fails tier-1 on any machine. The same
+# full (non-quick) run holds fig10's world at 10⁶ UEs: the binary's exit
+# code enforces the §12 bytes-per-UE budget, and --compare-capacity gates
+# peak RSS (≤1.15× baseline) and events/s (≥0.4× baseline).
 build/bench/perf_core --json build/BENCH_core_now.json >/dev/null
 build/tools/obs/bench_json_check build/BENCH_core_now.json
 build/tools/obs/bench_json_check --compare-allocs BENCH_core.json \
   build/BENCH_core_now.json
+build/tools/obs/bench_json_check --compare-capacity BENCH_core.json \
+  build/BENCH_core_now.json
 
 cmake -B build-asan -S . -DSCALE_SANITIZE=address,undefined >/dev/null
-cmake --build build-asan -j"${JOBS}" --target scale_tests
+cmake --build build-asan -j"${JOBS}" --target scale_tests perf_core
 (cd build-asan && ctest --output-on-failure -j"${JOBS}" \
   -R 'Chaos|ReliableTest|FabricTest|FaultPlane|FailureInjection|Network|Obs|Engine|BufferPool|BoxAlloc|Sharded')
+# MillionUE smoke under ASan+UBSan: the same capacity phases at 100 K UEs
+# (--quick skips the absolute bytes-per-UE assert — sanitizer shadow memory
+# inflates RSS) — slab growth, FlatIndex churn, and the storm's index
+# reassignment paths all run instrumented.
+build-asan/bench/perf_core --quick >/dev/null
 
 # TSan leg (DESIGN.md §10): the ShardedSim window protocol under
 # ThreadSanitizer — a threaded fig10 smoke. The mailboxes carry no locks or

@@ -1,0 +1,53 @@
+#include "analysis/queue_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace scale::analysis {
+
+double QueueModel::erlang_b(unsigned servers, double offered_load) {
+  SCALE_CHECK_MSG(offered_load >= 0.0, "offered load must be >= 0");
+  double b = 1.0;
+  for (unsigned n = 1; n <= servers; ++n)
+    b = offered_load * b / (static_cast<double>(n) + offered_load * b);
+  return b;
+}
+
+double QueueModel::erlang_c(unsigned servers, double offered_load) {
+  SCALE_CHECK_MSG(servers > 0, "need at least one server");
+  const double k = static_cast<double>(servers);
+  if (offered_load >= k) return 1.0;
+  const double b = erlang_b(servers, offered_load);
+  return k * b / (k - offered_load * (1.0 - b));
+}
+
+double QueueModel::mmk_wq(unsigned k, double lambda, double mu) {
+  SCALE_CHECK_MSG(k > 0 && mu > 0.0 && lambda >= 0.0,
+                  "mmk_wq needs k>0, mu>0, lambda>=0");
+  const double a = lambda / mu;
+  if (a >= static_cast<double>(k))
+    return std::numeric_limits<double>::infinity();
+  return erlang_c(k, a) / (static_cast<double>(k) * mu - lambda);
+}
+
+double QueueModel::mdk_wq(unsigned k, double lambda, double mu) {
+  const double wq_mmk = mmk_wq(k, lambda, mu);
+  if (!std::isfinite(wq_mmk) || lambda <= 0.0) return wq_mmk;
+  const double kk = static_cast<double>(k);
+  const double rho = lambda / (kk * mu);
+  const double correction =
+      1.0 + (1.0 - rho) * (kk - 1.0) * (std::sqrt(4.0 + 5.0 * kk) - 2.0) /
+                (16.0 * rho * kk);
+  return 0.5 * wq_mmk * correction;
+}
+
+double QueueModel::md1_wq(double lambda, double mu) {
+  SCALE_CHECK_MSG(mu > 0.0 && lambda >= 0.0, "md1_wq needs mu>0, lambda>=0");
+  const double rho = lambda / mu;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho / (2.0 * mu * (1.0 - rho));
+}
+
+}  // namespace scale::analysis

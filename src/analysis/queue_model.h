@@ -1,0 +1,52 @@
+// Analytic queueing model of the MMP pool — Erlang-C / M/M/k and its
+// deterministic-service refinements.
+//
+// Prados-Garzón et al. (arXiv:1512.02910, 1703.04445) model a virtualized
+// LTE MME as a tandem of M/M/k stations and validate the per-procedure
+// (attach / service-request) sojourn times against an ns-3 implementation.
+// We reproduce that validation loop for SCALE's MMP pool (bench/fig12_mmk):
+// the simulator's Service-Request queueing delay, measured against
+//
+//   * W_q(M/M/k)  — the classic Erlang-C mean wait: k fully-shared servers,
+//     exponential service. A *lower* bound for SCALE only in the sharing
+//     dimension: the MLB's least-loaded-of-R steering approximates, but
+//     cannot beat, a single shared queue.
+//   * W_q(M/D/k)  — deterministic service (our CPU cost model charges fixed
+//     slices per procedure, so service times are deterministic, halving the
+//     M/M/k wait at high load). Cosmetatos' approximation.
+//   * W_q(M/D/1)  — one VM's private queue under a random 1/k traffic
+//     split: the no-steering *upper* bound (what per-device static hashing
+//     alone would give).
+//
+// All rates are per-second, waits are seconds. Every function is a pure
+// closed form — no state, no RNG.
+#pragma once
+
+namespace scale::analysis {
+
+class QueueModel {
+ public:
+  /// Erlang-B blocking probability for `servers` servers at offered load
+  /// `a` = λ/μ (erlangs), via the numerically stable recursion
+  /// B(0)=1, B(n) = a·B(n−1) / (n + a·B(n−1)).
+  static double erlang_b(unsigned servers, double offered_load);
+
+  /// Erlang-C probability that an arrival waits (M/M/k, a = λ/μ):
+  /// C = k·B / (k − a·(1−B)). Returns 1.0 when a >= k (saturated).
+  static double erlang_c(unsigned servers, double offered_load);
+
+  /// Mean queueing delay (seconds, excluding service) of M/M/k at arrival
+  /// rate `lambda` and per-server service rate `mu`. +inf when λ >= k·μ.
+  static double mmk_wq(unsigned k, double lambda, double mu);
+
+  /// Cosmetatos' approximation of the M/D/k mean queueing delay:
+  /// W_q(M/D/k) ≈ ½·W_q(M/M/k)·[1 + (1−ρ)(k−1)(√(4+5k)−2)/(16·ρ·k)].
+  /// Exact for k=1 (= half the M/M/1 wait); within ~1% for k ≤ 50.
+  static double mdk_wq(unsigned k, double lambda, double mu);
+
+  /// M/D/1 mean queueing delay ρ/(2μ(1−ρ)) — one server's private queue.
+  /// `lambda` is the rate *arriving at this server* (split before calling).
+  static double md1_wq(double lambda, double mu);
+};
+
+}  // namespace scale::analysis

@@ -206,15 +206,28 @@ void ScaleCluster::for_each_master(
     });
 }
 
-void ScaleCluster::update_access_frequencies() {
+void ScaleCluster::for_each_master(
+    const std::function<void(epc::UeContextStore&, mme::UeContext&)>& fn) {
   for (const auto& vm : mmps_) {
-    vm->app().store().for_each([this](UeContext& ctx) {
+    auto& store = vm->app().store();
+    store.for_each([&](UeContext& ctx) {
+      if (ctx.role == ContextRole::kMaster) fn(store, ctx);
+    });
+  }
+}
+
+void ScaleCluster::update_access_frequencies() {
+  // Dense slot-order sweep (epoch_scan): each visit is independent — a
+  // per-context EWMA update and a hit reset — so the
+  // insertion-history-dependent slot order cannot leak into trajectories.
+  for (const auto& vm : mmps_) {
+    vm->app().store().epoch_scan([this](UeContext& ctx, std::uint32_t& hits) {
       if (ctx.role == ContextRole::kMaster) {
-        const double hit = ctx.epoch_hits > 0 ? 1.0 : 0.0;
+        const double hit = hits > 0 ? 1.0 : 0.0;
         ctx.rec.access_freq =
             cfg_.wi_alpha * hit + (1.0 - cfg_.wi_alpha) * ctx.rec.access_freq;
       }
-      ctx.epoch_hits = 0;
+      hits = 0;
     });
   }
 }
@@ -224,8 +237,9 @@ double ScaleCluster::compute_beta(std::uint64_t registered) {
       registered == 0)
     return 1.0;
   std::uint64_t k_hat = 0;
+  // Dense scan: a pure count, so slot order is immaterial.
   for (const auto& vm : mmps_) {
-    vm->app().store().for_each([&](UeContext& ctx) {
+    vm->app().store().scan([&](const UeContext& ctx) {
       if (ctx.role == ContextRole::kMaster &&
           ctx.rec.access_freq <= policy_.low_access_threshold)
         ++k_hat;

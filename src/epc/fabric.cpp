@@ -127,10 +127,54 @@ void Fabric::deliver(NodeId from, NodeId to, proto::Pdu pdu,
 
 void Fabric::deliver_at(NodeId from, NodeId to, proto::Pdu pdu, Time at) {
   // Box the in-flight PDU (a recycled BoxAlloc block, not a fresh heap
-  // allocation) so the timer captures a 16-byte ref instead of the whole
-  // ~120-byte variant — the difference between riding InlineAction's inline
-  // storage and spilling every hop to the fallback block pool.
-  auto fn = [this, from, to, p = proto::box(std::move(pdu))]() {
+  // allocation): the batch holds 16-byte refs, and the drain event captures
+  // only (this, to, batch) — well inside InlineAction's inline budget.
+  proto::PduRef p = proto::box(std::move(pdu));
+  const std::int64_t at_us = at.count_us();
+  // Same-destination, same-timestamp coalescing. The scheduled-event
+  // counter guard is what keeps this fingerprint-safe: appends are legal
+  // only while NOTHING has been scheduled since the batch event, i.e. the
+  // folded PDUs would have occupied consecutive seqs with no same-time
+  // competitor between them, so draining them back-to-back from the batch's
+  // seq slot replays the exact unbatched order.
+  if (open_batch_ != nullptr && open_to_ == to && open_at_us_ == at_us &&
+      engine_.events_scheduled() == open_sched_count_) {
+    open_batch_->items.emplace_back(from, std::move(p));
+    ++batched_pdus_;
+    return;
+  }
+  DeliveryBatch* b = alloc_batch();
+  b->items.emplace_back(from, std::move(p));
+  auto fn = [this, to, b]() { drain_batch(to, b); };
+  static_assert(sim::InlineAction::fits_inline<decltype(fn)>,
+                "fabric hop capture must stay within the inline budget");
+  engine_.at(at, std::move(fn));
+  ++batches_;
+  open_batch_ = b;
+  open_to_ = to;
+  open_at_us_ = at_us;
+  open_sched_count_ = engine_.events_scheduled();  // snapshot post-schedule
+}
+
+Fabric::DeliveryBatch* Fabric::alloc_batch() {
+  if (!batch_free_.empty()) {
+    DeliveryBatch* b = batch_free_.back();
+    batch_free_.pop_back();
+    return b;
+  }
+  batch_pool_.push_back(std::make_unique<DeliveryBatch>());
+  return batch_pool_.back().get();
+}
+
+void Fabric::drain_batch(NodeId to, DeliveryBatch* b) {
+  // Close the batch before the first receive(): a handler sending at this
+  // exact timestamp must open a fresh event, never append to a batch that
+  // is already draining (or, worse, recycled).
+  if (open_batch_ == b) open_batch_ = nullptr;
+  for (auto& [from, p] : b->items) {
+    // Per-item lookup, not hoisted: a receive() may deregister this very
+    // endpoint (crash mid-batch), and the remaining items must then drop
+    // exactly as individually scheduled deliveries would have.
     const auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
       ++dropped_;
@@ -142,13 +186,13 @@ void Fabric::deliver_at(NodeId from, NodeId to, proto::Pdu pdu, Time at) {
         args.set("pdu", proto::pdu_name(p->value));
         tr->instant(to, "dead_endpoint", engine_.now(), std::move(args));
       }
-      return;
+      continue;
     }
     it->second->receive(from, p->value);
-  };
-  static_assert(sim::InlineAction::fits_inline<decltype(fn)>,
-                "fabric hop capture must stay within the inline budget");
-  engine_.at(at, std::move(fn));
+  }
+  if (b->items.size() > 1) engine_.credit_batched(b->items.size() - 1);
+  b->items.clear();
+  batch_free_.push_back(b);
 }
 
 void Fabric::reset_counters() {
@@ -160,6 +204,8 @@ void Fabric::export_metrics(obs::MetricsRegistry& reg,
                             const std::string& prefix) const {
   reg.set_counter(prefix + ".dead_endpoint_drops", dropped_);
   reg.set_counter(prefix + ".late_arrivals", late_arrivals_);
+  reg.set_counter(prefix + ".delivery_batches", batches_);
+  reg.set_counter(prefix + ".batched_pdus", batched_pdus_);
   reg.set(prefix + ".endpoints", static_cast<double>(endpoints_.size()));
 }
 

@@ -22,8 +22,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "proto/pdu.h"
 #include "sim/engine.h"
@@ -121,6 +124,11 @@ class Fabric {
 
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Batched-delivery counters: engine events scheduled for delivery, and
+  /// PDUs that rode an already-scheduled batch instead of a fresh event.
+  std::uint64_t delivery_batches() const { return batches_; }
+  std::uint64_t batched_pdus() const { return batched_pdus_; }
+
   /// Zero the dead-endpoint drop counter together with the network's
   /// transfer + fault counters (one measurement window, one reset).
   void reset_counters();
@@ -134,10 +142,18 @@ class Fabric {
   sim::Network& network() { return network_; }
 
  private:
+  /// One engine event's worth of same-destination, same-timestamp
+  /// deliveries (pooled; items keep their capacity across reuse).
+  struct DeliveryBatch {
+    std::vector<std::pair<NodeId, proto::PduRef>> items;
+  };
+
   /// Local-shard schedule or cross-shard mailbox push, post fault verdict.
   void relay(NodeId from, NodeId to, proto::Pdu pdu, Duration latency);
   void deliver(NodeId from, NodeId to, proto::Pdu pdu, Duration latency);
   void deliver_at(NodeId from, NodeId to, proto::Pdu pdu, Time at);
+  DeliveryBatch* alloc_batch();
+  void drain_batch(NodeId to, DeliveryBatch* b);
 
   sim::Engine& engine_;
   sim::Network& network_;
@@ -149,6 +165,20 @@ class Fabric {
   TransportConfig transport_;
   sim::ShardRouter* router_ = nullptr;  ///< null in unsharded worlds
   std::uint32_t shard_ = 0;
+
+  // Batched delivery (DESIGN.md §12): the open batch accepts appends only
+  // while (to, at) match AND no other event has been scheduled since the
+  // batch event itself — the appended PDUs would have held consecutive
+  // seqs, so folding them into one event preserves every relative
+  // (time, seq) ordering and the determinism fingerprint.
+  DeliveryBatch* open_batch_ = nullptr;
+  NodeId open_to_ = 0;
+  std::int64_t open_at_us_ = 0;
+  std::uint64_t open_sched_count_ = 0;
+  std::vector<std::unique_ptr<DeliveryBatch>> batch_pool_;
+  std::vector<DeliveryBatch*> batch_free_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_pdus_ = 0;
 };
 
 }  // namespace scale::epc

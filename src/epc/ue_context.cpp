@@ -1,9 +1,6 @@
 #include "epc/ue_context.h"
 
-#include <algorithm>
 #include <utility>
-
-#include "common/check.h"
 
 namespace scale::epc {
 
@@ -16,142 +13,272 @@ const char* context_role_name(ContextRole role) {
   return "?";
 }
 
+std::uint32_t UeContextStore::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(live_.size());
+  if ((slot & (kChunkSize - 1)) == 0)
+    chunks_.push_back(std::make_unique<UeContext[]>(kChunkSize));
+  live_.push_back(0);
+  last_activity_.push_back(Time::zero());
+  epoch_hits_.push_back(0);
+  timer_.push_back(0);
+  indexed_imsi_.push_back(0);
+  indexed_teid_.push_back(0);
+  indexed_ue_id_.push_back(0);
+  prev_teid_.push_back(0);
+  prev_ue_id_.push_back(0);
+  return slot;
+}
+
 UeContext& UeContextStore::insert(proto::UeContextRecord rec,
                                   ContextRole role) {
   const std::uint64_t key = rec.guti.key();
-  SCALE_CHECK_MSG(!by_key_.count(key), "duplicate context " + rec.guti.str());
-  auto ctx = std::make_unique<UeContext>();
-  ctx->rec = std::move(rec);
-  ctx->role = role;
-  UeContext& ref = *ctx;
-  by_key_.emplace(key, std::move(ctx));
-  if (ref.rec.imsi != 0) by_imsi_[ref.rec.imsi] = &ref;
-  if (ref.rec.mme_teid.valid()) by_teid_[ref.rec.mme_teid.raw] = &ref;
-  if (ref.rec.mme_ue_id.raw != 0) by_mme_ue_id_[ref.rec.mme_ue_id.raw] = &ref;
-  total_bytes_ += ref.rec.state_bytes;
-  role_bytes_[static_cast<int>(role)] += ref.rec.state_bytes;
-  role_count_[static_cast<int>(role)] += 1;
-  return ref;
-}
-
-UeContext* UeContextStore::find(std::uint64_t guti_key) {
-  const auto it = by_key_.find(guti_key);
-  return it == by_key_.end() ? nullptr : it->second.get();
-}
-
-const UeContext* UeContextStore::find(std::uint64_t guti_key) const {
-  const auto it = by_key_.find(guti_key);
-  return it == by_key_.end() ? nullptr : it->second.get();
+  SCALE_CHECK_MSG(!by_key_.contains(key),
+                  "duplicate context " + rec.guti.str());
+  const std::uint32_t slot = alloc_slot();
+  UeContext& ctx = *slot_ptr(slot);
+  ctx.rec = std::move(rec);
+  ctx.role = role;
+  ctx.replica_dirty = false;
+  ctx.serving_mmp = 0;
+  ctx.slot_ = slot;
+  live_[slot] = 1;
+  last_activity_[slot] = Time::zero();
+  epoch_hits_[slot] = 0;
+  timer_[slot] = 0;
+  by_key_.insert(key, slot);
+  reindex(ctx);
+  total_bytes_ += ctx.rec.state_bytes;
+  role_bytes_[role_index(role)] += ctx.rec.state_bytes;
+  role_count_[role_index(role)] += 1;
+  ++size_;
+  return ctx;
 }
 
 UeContext* UeContextStore::find_by_imsi(proto::Imsi imsi) {
-  const auto it = by_imsi_.find(imsi);
-  return it == by_imsi_.end() ? nullptr : it->second;
+  const std::uint32_t slot = by_imsi_.find(imsi);
+  return slot == FlatIndex::kNone ? nullptr : slot_ptr(slot);
 }
 
 UeContext* UeContextStore::find_by_teid(proto::Teid mme_teid) {
-  const auto it = by_teid_.find(mme_teid.raw);
-  return it == by_teid_.end() ? nullptr : it->second;
+  const std::uint32_t slot = by_teid_.find(mme_teid.raw);
+  return slot == FlatIndex::kNone ? nullptr : slot_ptr(slot);
 }
 
 UeContext* UeContextStore::find_by_mme_ue_id(proto::MmeUeId id) {
-  const auto it = by_mme_ue_id_.find(id.raw);
-  return it == by_mme_ue_id_.end() ? nullptr : it->second;
+  const std::uint32_t slot = by_ue_id_.find(id.raw);
+  return slot == FlatIndex::kNone ? nullptr : slot_ptr(slot);
 }
 
-void UeContextStore::index_teid(UeContext& ctx) {
-  SCALE_CHECK(ctx.rec.mme_teid.valid());
-  by_teid_[ctx.rec.mme_teid.raw] = &ctx;
+void UeContextStore::sync_imsi(UeContext& ctx) {
+  const std::uint32_t slot = ctx.slot_;
+  const std::uint64_t want = ctx.rec.imsi;
+  const std::uint64_t have = indexed_imsi_[slot];
+  if (have == want) return;
+  if (have != 0) by_imsi_.erase(have);
+  if (want != 0) {
+    const std::uint32_t hit = by_imsi_.find(want);
+    if (hit != FlatIndex::kNone && hit != slot) {
+      // A device re-attaching under a fresh GUTI supersedes the older
+      // context's IMSI claim (the adopt() duplicate-IMSI guard purges the
+      // loser once the procedure settles). Steal the entry and un-shadow
+      // the previous owner so its erase stays exact.
+      indexed_imsi_[hit] = 0;
+      by_imsi_.erase(want);
+    }
+    by_imsi_.insert(want, slot);
+  }
+  indexed_imsi_[slot] = want;
 }
 
-void UeContextStore::index_mme_ue_id(UeContext& ctx) {
-  SCALE_CHECK(ctx.rec.mme_ue_id.raw != 0);
-  by_mme_ue_id_[ctx.rec.mme_ue_id.raw] = &ctx;
+// TEID/UE-id reassignment keeps a one-deep alias: procedures hand the MME a
+// fresh identifier while messages referencing the one just replaced may
+// still be in flight (an S-GW response crossing a Service Request, a path
+// switch racing a re-setup). The replaced id stays routable until the NEXT
+// reassignment retires it — bounded (one alias per context, unlike the old
+// unordered_map store, which leaked every superseded id forever) and exact
+// (erase removes the alias with the context).
+void UeContextStore::sync_teid(UeContext& ctx) {
+  const std::uint32_t slot = ctx.slot_;
+  const std::uint32_t want = ctx.rec.mme_teid.valid() ? ctx.rec.mme_teid.raw : 0;
+  const std::uint32_t have = indexed_teid_[slot];
+  if (have == want) return;
+  if (prev_teid_[slot] != 0 && prev_teid_[slot] != want) {
+    by_teid_.erase(prev_teid_[slot]);
+    prev_teid_[slot] = 0;
+  }
+  if (want != 0 && want == prev_teid_[slot]) {
+    prev_teid_[slot] = 0;  // reassigned back: promote, entry already present
+  } else if (want != 0) {
+    const std::uint32_t hit = by_teid_.find(want);
+    SCALE_CHECK_MSG(hit == FlatIndex::kNone,
+                    "TEID index collision with a live context");
+    by_teid_.insert(want, slot);
+  }
+  prev_teid_[slot] = have;
+  indexed_teid_[slot] = want;
+}
+
+void UeContextStore::sync_ue_id(UeContext& ctx) {
+  const std::uint32_t slot = ctx.slot_;
+  const std::uint32_t want = ctx.rec.mme_ue_id.raw;
+  const std::uint32_t have = indexed_ue_id_[slot];
+  if (have == want) return;
+  if (prev_ue_id_[slot] != 0 && prev_ue_id_[slot] != want) {
+    by_ue_id_.erase(prev_ue_id_[slot]);
+    prev_ue_id_[slot] = 0;
+  }
+  if (want != 0 && want == prev_ue_id_[slot]) {
+    prev_ue_id_[slot] = 0;
+  } else if (want != 0) {
+    const std::uint32_t hit = by_ue_id_.find(want);
+    SCALE_CHECK_MSG(hit == FlatIndex::kNone,
+                    "MME-UE-id index collision with a live context");
+    by_ue_id_.insert(want, slot);
+  }
+  prev_ue_id_[slot] = have;
+  indexed_ue_id_[slot] = want;
 }
 
 void UeContextStore::set_role(UeContext& ctx, ContextRole role) {
   if (ctx.role == role) return;
-  role_bytes_[static_cast<int>(ctx.role)] -= ctx.rec.state_bytes;
-  role_count_[static_cast<int>(ctx.role)] -= 1;
+  role_bytes_[role_index(ctx.role)] -= ctx.rec.state_bytes;
+  role_count_[role_index(ctx.role)] -= 1;
   ctx.role = role;
-  role_bytes_[static_cast<int>(role)] += ctx.rec.state_bytes;
-  role_count_[static_cast<int>(role)] += 1;
+  role_bytes_[role_index(role)] += ctx.rec.state_bytes;
+  role_count_[role_index(role)] += 1;
 }
 
 UeContext& UeContextStore::rekey(std::uint64_t old_key,
                                  const proto::Guti& new_guti) {
-  const auto it = by_key_.find(old_key);
-  SCALE_CHECK_MSG(it != by_key_.end(), "rekey of unknown context");
-  SCALE_CHECK_MSG(!by_key_.count(new_guti.key()), "rekey target collision");
-  std::unique_ptr<UeContext> ctx = std::move(it->second);
-  by_key_.erase(it);
-  ctx->rec.guti = new_guti;
-  UeContext& ref = *ctx;
-  by_key_.emplace(new_guti.key(), std::move(ctx));
-  return ref;
+  const std::uint32_t slot = by_key_.find(old_key);
+  SCALE_CHECK_MSG(slot != FlatIndex::kNone, "rekey of unknown context");
+  SCALE_CHECK_MSG(!by_key_.contains(new_guti.key()), "rekey target collision");
+  by_key_.erase(old_key);
+  UeContext& ctx = *slot_ptr(slot);
+  ctx.rec.guti = new_guti;
+  by_key_.insert(new_guti.key(), slot);
+  return ctx;
 }
 
 void UeContextStore::erase(std::uint64_t guti_key) {
-  const auto it = by_key_.find(guti_key);
-  SCALE_CHECK_MSG(it != by_key_.end(), "erase of unknown context");
-  UeContext& ctx = *it->second;
-  if (ctx.rec.imsi != 0) {
-    const auto imsi_it = by_imsi_.find(ctx.rec.imsi);
-    if (imsi_it != by_imsi_.end() && imsi_it->second == &ctx)
-      by_imsi_.erase(imsi_it);
-  }
-  if (ctx.rec.mme_teid.valid()) {
-    const auto teid_it = by_teid_.find(ctx.rec.mme_teid.raw);
-    if (teid_it != by_teid_.end() && teid_it->second == &ctx)
-      by_teid_.erase(teid_it);
-  }
-  if (ctx.rec.mme_ue_id.raw != 0) {
-    const auto id_it = by_mme_ue_id_.find(ctx.rec.mme_ue_id.raw);
-    if (id_it != by_mme_ue_id_.end() && id_it->second == &ctx)
-      by_mme_ue_id_.erase(id_it);
-  }
+  const std::uint32_t slot = by_key_.find(guti_key);
+  SCALE_CHECK_MSG(slot != FlatIndex::kNone, "erase of unknown context");
+  UeContext& ctx = *slot_ptr(slot);
+  // Exact unindex through the shadow columns: no "is this entry really
+  // ours?" pointer guessing, and re-assigned identifiers cannot strand
+  // stale entries.
+  if (indexed_imsi_[slot] != 0) by_imsi_.erase(indexed_imsi_[slot]);
+  if (indexed_teid_[slot] != 0) by_teid_.erase(indexed_teid_[slot]);
+  if (indexed_ue_id_[slot] != 0) by_ue_id_.erase(indexed_ue_id_[slot]);
+  if (prev_teid_[slot] != 0) by_teid_.erase(prev_teid_[slot]);
+  if (prev_ue_id_[slot] != 0) by_ue_id_.erase(prev_ue_id_[slot]);
+  indexed_imsi_[slot] = 0;
+  indexed_teid_[slot] = 0;
+  indexed_ue_id_[slot] = 0;
+  prev_teid_[slot] = 0;
+  prev_ue_id_[slot] = 0;
   total_bytes_ -= ctx.rec.state_bytes;
-  role_bytes_[static_cast<int>(ctx.role)] -= ctx.rec.state_bytes;
-  role_count_[static_cast<int>(ctx.role)] -= 1;
-  by_key_.erase(it);
+  role_bytes_[role_index(ctx.role)] -= ctx.rec.state_bytes;
+  role_count_[role_index(ctx.role)] -= 1;
+  by_key_.erase(guti_key);
+  ctx.rec = proto::UeContextRecord{};
+  ctx.replica_dirty = false;
+  ctx.serving_mmp = 0;
+  ctx.slot_ = 0xFFFFFFFFu;
+  live_[slot] = 0;
+  timer_[slot] = 0;
+  free_.push_back(slot);
+  --size_;
 }
 
-bool UeContextStore::contains(std::uint64_t guti_key) const {
-  return by_key_.count(guti_key) > 0;
+std::size_t UeContextStore::footprint_bytes() const {
+  std::size_t bytes = chunks_.size() * kChunkSize * sizeof(UeContext);
+  bytes += live_.capacity() * sizeof(std::uint8_t);
+  bytes += last_activity_.capacity() * sizeof(Time);
+  bytes += epoch_hits_.capacity() * sizeof(std::uint32_t);
+  bytes += timer_.capacity() * sizeof(sim::EventId);
+  bytes += indexed_imsi_.capacity() * sizeof(std::uint64_t);
+  bytes += indexed_teid_.capacity() * sizeof(std::uint32_t);
+  bytes += indexed_ue_id_.capacity() * sizeof(std::uint32_t);
+  bytes += prev_teid_.capacity() * sizeof(std::uint32_t);
+  bytes += prev_ue_id_.capacity() * sizeof(std::uint32_t);
+  bytes += free_.capacity() * sizeof(std::uint32_t);
+  bytes += by_key_.memory_bytes() + by_imsi_.memory_bytes() +
+           by_teid_.memory_bytes() + by_ue_id_.memory_bytes();
+  return bytes;
 }
 
-std::size_t UeContextStore::count(ContextRole role) const {
-  return role_count_[static_cast<int>(role)];
-}
-
-std::uint64_t UeContextStore::bytes(ContextRole role) const {
-  return role_bytes_[static_cast<int>(role)];
-}
-
-void UeContextStore::for_each(const std::function<void(UeContext&)>& fn) {
-  // Visit in ascending GUTI-key order, not hash order: epoch sweeps draw RNG
-  // per visited context (geo candidate selection, eviction marking), so the
-  // raw unordered_map order would leak the hash layout into the trajectory
-  // and break same-seed replay across standard libraries (DESIGN.md §6, L2).
-  std::vector<std::pair<std::uint64_t, UeContext*>> snapshot;
-  snapshot.reserve(by_key_.size());
-  // lint: order-independent — snapshot is sorted before any visit happens.
-  for (auto& [key, ctx] : by_key_) snapshot.emplace_back(key, ctx.get());
-  std::sort(snapshot.begin(), snapshot.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& [key, ctx] : snapshot) fn(*ctx);
-}
-
-std::vector<std::uint64_t> UeContextStore::keys_if(
-    const std::function<bool(const UeContext&)>& pred) const {
-  std::vector<std::uint64_t> keys;
-  // lint: order-independent — the key list is sorted before it is returned.
-  for (const auto& [key, ctx] : by_key_)
-    if (pred(*ctx)) keys.push_back(key);
-  // Migration and eviction iterate this list and emit messages per key, so
-  // its order is trajectory-visible; sort to make it hash-layout-free.
-  std::sort(keys.begin(), keys.end());
-  return keys;
+void UeContextStore::audit() const {
+  SCALE_CHECK(by_key_.size() == size_);
+  SCALE_CHECK(free_.size() == live_.size() - size_);
+  std::size_t live_seen = 0;
+  std::uint64_t tb = 0;
+  std::array<std::uint64_t, 3> rb{};
+  std::array<std::size_t, 3> rc{};
+  for (std::uint32_t s = 0; s < live_.size(); ++s) {
+    const UeContext& ctx = *slot_ptr(s);
+    if (!live_[s]) {
+      SCALE_CHECK_MSG(ctx.slot_ == 0xFFFFFFFFu, "dead slot left addressed");
+      SCALE_CHECK_MSG(indexed_imsi_[s] == 0 && indexed_teid_[s] == 0 &&
+                          indexed_ue_id_[s] == 0 && prev_teid_[s] == 0 &&
+                          prev_ue_id_[s] == 0,
+                      "dead slot still indexed");
+      continue;
+    }
+    ++live_seen;
+    SCALE_CHECK_MSG(ctx.slot_ == s, "slot back-reference mismatch");
+    SCALE_CHECK_MSG(by_key_.find(ctx.key()) == s, "GUTI index misses context");
+    if (indexed_imsi_[s] != 0)
+      SCALE_CHECK_MSG(by_imsi_.find(indexed_imsi_[s]) == s,
+                      "IMSI shadow/index mismatch");
+    if (indexed_teid_[s] != 0)
+      SCALE_CHECK_MSG(by_teid_.find(indexed_teid_[s]) == s,
+                      "TEID shadow/index mismatch");
+    if (indexed_ue_id_[s] != 0)
+      SCALE_CHECK_MSG(by_ue_id_.find(indexed_ue_id_[s]) == s,
+                      "UE-id shadow/index mismatch");
+    if (prev_teid_[s] != 0)
+      SCALE_CHECK_MSG(by_teid_.find(prev_teid_[s]) == s,
+                      "TEID alias/index mismatch");
+    if (prev_ue_id_[s] != 0)
+      SCALE_CHECK_MSG(by_ue_id_.find(prev_ue_id_[s]) == s,
+                      "UE-id alias/index mismatch");
+    tb += ctx.rec.state_bytes;
+    rb[role_index(ctx.role)] += ctx.rec.state_bytes;
+    rc[role_index(ctx.role)] += 1;
+  }
+  SCALE_CHECK_MSG(live_seen == size_, "live-slot count drifted");
+  SCALE_CHECK_MSG(tb == total_bytes_, "total byte accounting drifted");
+  SCALE_CHECK_MSG(rb == role_bytes_, "per-role byte accounting drifted");
+  SCALE_CHECK_MSG(rc == role_count_, "per-role count accounting drifted");
+  // Every index entry must round-trip to a live context that claims it.
+  by_key_.for_each_entry([&](std::uint64_t key, std::uint32_t slot) {
+    SCALE_CHECK_MSG(slot < live_.size() && live_[slot],
+                    "GUTI index entry points at a dead slot");
+    SCALE_CHECK_MSG(slot_ptr(slot)->key() == key, "GUTI index key mismatch");
+  });
+  by_imsi_.for_each_entry([&](std::uint64_t key, std::uint32_t slot) {
+    SCALE_CHECK_MSG(slot < live_.size() && live_[slot],
+                    "IMSI index entry points at a dead slot");
+    SCALE_CHECK_MSG(indexed_imsi_[slot] == key, "IMSI index not shadowed");
+  });
+  by_teid_.for_each_entry([&](std::uint64_t key, std::uint32_t slot) {
+    SCALE_CHECK_MSG(slot < live_.size() && live_[slot],
+                    "TEID index entry points at a dead slot");
+    SCALE_CHECK_MSG(indexed_teid_[slot] == key || prev_teid_[slot] == key,
+                    "TEID index not shadowed");
+  });
+  by_ue_id_.for_each_entry([&](std::uint64_t key, std::uint32_t slot) {
+    SCALE_CHECK_MSG(slot < live_.size() && live_[slot],
+                    "UE-id index entry points at a dead slot");
+    SCALE_CHECK_MSG(indexed_ue_id_[slot] == key || prev_ue_id_[slot] == key,
+                    "UE-id index not shadowed");
+  });
 }
 
 }  // namespace scale::epc

@@ -31,6 +31,11 @@ class ClusterVm : public epc::Endpoint {
     NodeId hss = 0;
     double cpu_speed = 1.0;
     Duration load_report_interval = Duration::ms(100.0);
+    /// Sampling of the utilization EWMA folded into load_score(). The
+    /// advertised load can be no fresher than max(this, report interval) —
+    /// steering quality at high per-VM rates is bounded by that staleness.
+    Duration util_sample_interval = Duration::ms(100.0);
+    double util_alpha = 0.3;
   };
 
   ClusterVm(epc::Fabric& fabric, Config cfg);

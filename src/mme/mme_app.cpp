@@ -141,7 +141,7 @@ void MmeApp::start_attach(NodeId enb, const proto::InitialUeMessage& msg,
   ctx->serving_mmp = cfg_.vm_code;
   store_.index_mme_ue_id(*ctx);
   touch(*ctx);
-  ++ctx->epoch_hits;
+  store_.add_epoch_hit(*ctx);
 
   Txn txn;
   txn.type = ProcedureType::kAttach;
@@ -338,7 +338,7 @@ void MmeApp::start_service_request(NodeId enb,
   ctx->serving_mmp = cfg_.vm_code;
   store_.index_mme_ue_id(*ctx);
   touch(*ctx);
-  ++ctx->epoch_hits;
+  store_.add_epoch_hit(*ctx);
 
   Txn txn;
   txn.type = ProcedureType::kServiceRequest;
@@ -401,7 +401,7 @@ void MmeApp::start_tau(NodeId enb, const proto::InitialUeMessage& msg,
   ctx->rec.mme_ue_id = next_mme_ue_id();
   store_.index_mme_ue_id(*ctx);
   touch(*ctx);
-  ++ctx->epoch_hits;
+  store_.add_epoch_hit(*ctx);
 
   Txn txn;
   txn.type = ProcedureType::kTrackingAreaUpdate;
@@ -442,7 +442,7 @@ void MmeApp::handle_path_switch(NodeId enb,
   }
   const std::uint64_t key = ctx->key();
   touch(*ctx);
-  ++ctx->epoch_hits;
+  store_.add_epoch_hit(*ctx);
 
   Txn txn;
   txn.type = ProcedureType::kHandover;
@@ -697,14 +697,11 @@ UeContext* MmeApp::adopt(const proto::UeContextRecord& rec, ContextRole role) {
     disarm_inactivity(*existing);
     existing->rec = rec;
     store_.set_role(*existing, role);
-    if (rec.mme_teid.valid()) store_.index_teid(*existing);
-    if (rec.mme_ue_id.raw != 0) store_.index_mme_ue_id(*existing);
+    store_.reindex(*existing);
     return existing;
   }
-  UeContext& ctx = store_.insert(rec, role);
-  if (rec.mme_teid.valid()) store_.index_teid(ctx);
-  if (rec.mme_ue_id.raw != 0) store_.index_mme_ue_id(ctx);
-  return &ctx;
+  // insert() indexes IMSI/TEID/UE-id straight from the record.
+  return &store_.insert(rec, role);
 }
 
 void MmeApp::remove_context(std::uint64_t guti_key) {
@@ -739,31 +736,27 @@ void MmeApp::send_reject(NodeId enb, proto::EnbUeId enb_ue_id,
 }
 
 void MmeApp::touch(UeContext& ctx) {
-  ctx.last_activity = engine_.now();
-  if (ctx.rec.active && ctx.inactivity_timer_armed) arm_inactivity(ctx);
+  store_.touch(ctx, engine_.now());
+  if (ctx.rec.active && store_.timer_armed(ctx)) arm_inactivity(ctx);
 }
 
 void MmeApp::arm_inactivity(UeContext& ctx) {
   if (!cfg_.enable_inactivity_timer) return;
   disarm_inactivity(ctx);
   const std::uint64_t key = ctx.key();
-  ctx.inactivity_timer_armed = true;
-  ctx.inactivity_timer =
-      engine_.after(cfg_.profile.inactivity_timeout,
-                    [this, key]() { inactivity_fired(key); });
+  store_.arm_timer(
+      ctx, engine_.after(cfg_.profile.inactivity_timeout,
+                         [this, key]() { inactivity_fired(key); }));
 }
 
 void MmeApp::disarm_inactivity(UeContext& ctx) {
-  if (ctx.inactivity_timer_armed) {
-    engine_.cancel(ctx.inactivity_timer);
-    ctx.inactivity_timer_armed = false;
-  }
+  if (const sim::EventId id = store_.disarm_timer(ctx)) engine_.cancel(id);
 }
 
 void MmeApp::inactivity_fired(std::uint64_t key) {
   UeContext* ctx = ctx_of(key);
   if (ctx == nullptr) return;
-  ctx->inactivity_timer_armed = false;
+  store_.disarm_timer(*ctx);  // fired, not cancelled: just clear the cell
   if (!ctx->rec.active || txns_.count(key)) return;
   cpu_.execute(cfg_.profile.idle_release, [this, key]() {
     UeContext* c = ctx_of(key);

@@ -106,6 +106,13 @@ class Engine {
   std::uint64_t events_processed() const { return processed_; }
   std::uint64_t events_scheduled() const { return next_seq_; }
 
+  /// Credit logical events folded into one scheduled event by a batching
+  /// layer (Fabric's same-destination delivery batches, DESIGN.md §12).
+  /// Keeps events_processed meaning "logical deliveries + timers executed"
+  /// — comparable across batched and unbatched builds — rather than
+  /// counting scheduler bookkeeping.
+  void credit_batched(std::uint64_t n) { processed_ += n; }
+
   /// Publish event-loop stats under `prefix` ("engine.events_processed",
   /// "engine.now_ms", ...). Read-only: scheduling is not perturbed.
   void export_metrics(obs::MetricsRegistry& reg,

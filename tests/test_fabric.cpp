@@ -154,5 +154,50 @@ TEST_F(FabricTest, ResetCountersZeroesEverythingTogether) {
   EXPECT_EQ(net.fault_counters(), sim::FaultCounters{});
 }
 
+// --- Batched delivery (DESIGN.md §12) --------------------------------------
+// Same-destination, same-timestamp sends ride one engine event; anything
+// that could reorder relative (time, seq) pairs — a destination switch or an
+// unrelated event scheduled in between — closes the open batch.
+
+TEST_F(FabricTest, SameDestinationSameTickSendsShareOneEvent) {
+  Probe a(fabric), b(fabric);
+  for (proto::Imsi i = 1; i <= 8; ++i) fabric.send(a.node, b.node, ping(i));
+  EXPECT_EQ(fabric.delivery_batches(), 1u);
+  EXPECT_EQ(fabric.batched_pdus(), 7u);
+  engine.run_until(Time::from_sec(1.0));
+  ASSERT_EQ(b.got.size(), 8u);
+  for (proto::Imsi i = 1; i <= 8; ++i) EXPECT_EQ(b.got[i - 1], i);
+}
+
+TEST_F(FabricTest, DestinationSwitchClosesBatch) {
+  Probe a(fabric), b(fabric), c(fabric);
+  fabric.send(a.node, b.node, ping(1));
+  fabric.send(a.node, c.node, ping(2));
+  // Same (to, at) as the first send, but c's event was scheduled in
+  // between — appending here would skip a seq, so a fresh event is correct.
+  fabric.send(a.node, b.node, ping(3));
+  EXPECT_EQ(fabric.delivery_batches(), 3u);
+  EXPECT_EQ(fabric.batched_pdus(), 0u);
+  engine.run_until(Time::from_sec(1.0));
+  ASSERT_EQ(b.got.size(), 2u);
+  EXPECT_EQ(b.got[0], 1u);
+  EXPECT_EQ(b.got[1], 3u);
+  ASSERT_EQ(c.got.size(), 1u);
+  EXPECT_EQ(c.got[0], 2u);
+}
+
+TEST_F(FabricTest, UnrelatedEventBetweenSendsClosesBatch) {
+  Probe a(fabric), b(fabric);
+  fabric.send(a.node, b.node, ping(1));
+  engine.after(Duration::ms(10.0), [] {});
+  fabric.send(a.node, b.node, ping(2));
+  EXPECT_EQ(fabric.delivery_batches(), 2u);
+  EXPECT_EQ(fabric.batched_pdus(), 0u);
+  engine.run_until(Time::from_sec(1.0));
+  ASSERT_EQ(b.got.size(), 2u);
+  EXPECT_EQ(b.got[0], 1u);
+  EXPECT_EQ(b.got[1], 2u);
+}
+
 }  // namespace
 }  // namespace scale

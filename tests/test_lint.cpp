@@ -212,8 +212,9 @@ TEST(ScaleLintJson, RealTreeReportIsCleanAndInventoriesWaivers) {
   // shard-shared waiver that ever reappears; the fixture tree keeps the
   // shard-shared kind itself exercised. (The SteeringPolicy rewrite moved
   // the MLB's load/backoff maps into the ordered MmpLoadView, retiring its
-  // three order-independent waivers.)
-  EXPECT_GE(doc->find("waivers")->size(), 11u);
+  // three order-independent waivers; the MillionUE slab store retired the
+  // two UeContextStore ones — its FlatIndex tables are plain vectors.)
+  EXPECT_GE(doc->find("waivers")->size(), 9u);
   bool saw_shard_local = false;
   for (const auto& w : doc->find("waivers")->elements()) {
     if (w.find("kind")->as_string() == "shard-local") saw_shard_local = true;

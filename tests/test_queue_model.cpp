@@ -1,0 +1,90 @@
+// QueueModel (analysis/queue_model.h) against textbook closed forms:
+// Erlang-B/C fixed points, the M/M/1 and M/D/1 specializations, and the
+// structural orderings (deterministic service halves the wait, sharing
+// beats splitting) that fig12_mmk's gates lean on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "analysis/queue_model.h"
+#include "common/check.h"
+
+namespace scale::analysis {
+namespace {
+
+TEST(QueueModel, ErlangBKnownValues) {
+  // B(1, a) = a / (1 + a).
+  EXPECT_NEAR(QueueModel::erlang_b(1, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(QueueModel::erlang_b(1, 3.0), 0.75, 1e-12);
+  // B(2, 1) = (1/2) / (1 + 1 + 1/2) = 0.2.
+  EXPECT_NEAR(QueueModel::erlang_b(2, 1.0), 0.2, 1e-12);
+  // Zero offered load never blocks; blocking shrinks with more servers.
+  EXPECT_DOUBLE_EQ(QueueModel::erlang_b(4, 0.0), 0.0);
+  EXPECT_LT(QueueModel::erlang_b(8, 4.0), QueueModel::erlang_b(4, 4.0));
+}
+
+TEST(QueueModel, ErlangCKnownValues) {
+  // C(1, a) = a (an M/M/1 arrival waits with probability rho).
+  EXPECT_NEAR(QueueModel::erlang_c(1, 0.7), 0.7, 1e-12);
+  // C(2, 1) = 2 * 0.2 / (2 - 1 * 0.8) = 1/3.
+  EXPECT_NEAR(QueueModel::erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+  // Saturated: every arrival waits.
+  EXPECT_DOUBLE_EQ(QueueModel::erlang_c(2, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(QueueModel::erlang_c(2, 5.0), 1.0);
+}
+
+TEST(QueueModel, Mm1SpecialCase) {
+  // k = 1 reduces to W_q(M/M/1) = rho / (mu - lambda).
+  const double lambda = 70.0, mu = 100.0;
+  const double rho = lambda / mu;
+  EXPECT_NEAR(QueueModel::mmk_wq(1, lambda, mu), rho / (mu - lambda), 1e-12);
+}
+
+TEST(QueueModel, Md1IsHalfOfMm1) {
+  const double lambda = 70.0, mu = 100.0;
+  EXPECT_NEAR(QueueModel::md1_wq(lambda, mu),
+              0.5 * QueueModel::mmk_wq(1, lambda, mu), 1e-12);
+  // Cosmetatos' M/D/k form is exact at k = 1.
+  EXPECT_NEAR(QueueModel::mdk_wq(1, lambda, mu),
+              QueueModel::md1_wq(lambda, mu), 1e-12);
+}
+
+TEST(QueueModel, SaturationIsInfinite) {
+  EXPECT_TRUE(std::isinf(QueueModel::mmk_wq(2, 200.0, 100.0)));
+  EXPECT_TRUE(std::isinf(QueueModel::mmk_wq(2, 250.0, 100.0)));
+  EXPECT_TRUE(std::isinf(QueueModel::md1_wq(100.0, 100.0)));
+  EXPECT_TRUE(std::isinf(QueueModel::mdk_wq(4, 400.0, 100.0)));
+}
+
+TEST(QueueModel, StructuralOrderings) {
+  const unsigned k = 6;
+  const double mu = 1000.0;
+  for (double rho : {0.3, 0.55, 0.8, 0.95}) {
+    const double lambda = rho * k * mu;
+    const double mmk = QueueModel::mmk_wq(k, lambda, mu);
+    const double mdk = QueueModel::mdk_wq(k, lambda, mu);
+    const double md1_split = QueueModel::md1_wq(lambda / k, mu);
+    // Deterministic service waits less than exponential...
+    EXPECT_LT(mdk, mmk) << "rho=" << rho;
+    EXPECT_GT(mdk, 0.0) << "rho=" << rho;
+    // ...and k shared servers beat a random 1/k split of the stream.
+    EXPECT_LT(mdk, md1_split) << "rho=" << rho;
+    EXPECT_LT(mmk, 2.0 * md1_split) << "rho=" << rho;
+  }
+  // Waits grow with load.
+  EXPECT_LT(QueueModel::mmk_wq(k, 0.3 * k * mu, mu),
+            QueueModel::mmk_wq(k, 0.8 * k * mu, mu));
+  EXPECT_LT(QueueModel::mdk_wq(k, 0.3 * k * mu, mu),
+            QueueModel::mdk_wq(k, 0.8 * k * mu, mu));
+}
+
+TEST(QueueModel, GuardsReject) {
+  EXPECT_THROW(QueueModel::erlang_b(2, -1.0), scale::CheckError);
+  EXPECT_THROW(QueueModel::erlang_c(0, 1.0), scale::CheckError);
+  EXPECT_THROW(QueueModel::mmk_wq(0, 1.0, 1.0), scale::CheckError);
+  EXPECT_THROW(QueueModel::md1_wq(1.0, 0.0), scale::CheckError);
+}
+
+}  // namespace
+}  // namespace scale::analysis

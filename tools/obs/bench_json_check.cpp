@@ -120,6 +120,106 @@ int compare_allocs(const char* baseline_path, const char* current_path) {
   return code;
 }
 
+/// One row of the "fig10_1m_capacity" section, keyed by row label.
+struct CapacityRow {
+  double ues = 0.0;
+  double ops_per_s = 0.0;
+  double peak_rss = 0.0;
+};
+
+/// Extract the fig10_1m_capacity rows. Empty when the section is absent.
+std::map<std::string, CapacityRow> capacity_rows(
+    const scale::obs::Json& doc) {
+  std::map<std::string, CapacityRow> out;
+  const auto* sections = doc.find("sections");
+  if (sections == nullptr) return out;
+  for (const auto& sec : sections->elements()) {
+    const auto* name = sec.find("name");
+    if (name == nullptr || name->as_string() != "fig10_1m_capacity") continue;
+    std::size_t ues_col = 0, rate_col = 0, rss_col = 0;
+    const auto& columns = sec.find("columns")->elements();
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const std::string col = columns[c].as_string();
+      if (col == "ues") ues_col = c;
+      if (col == "ops_per_s") rate_col = c;
+      if (col == "peak_rss_bytes") rss_col = c;
+    }
+    for (const auto& row : sec.find("rows")->elements()) {
+      const auto& values = row.find("values")->elements();
+      CapacityRow r;
+      if (ues_col < values.size()) r.ues = values[ues_col].as_double();
+      if (rate_col < values.size()) r.ops_per_s = values[rate_col].as_double();
+      if (rss_col < values.size()) r.peak_rss = values[rss_col].as_double();
+      out[row.find("label")->as_string()] = r;
+    }
+  }
+  return out;
+}
+
+/// The MillionUE gate: every capacity phase must still run at full scale
+/// (ues must not shrink), must not grow peak RSS past 1.15× the committed
+/// baseline, and must keep at least 40% of the baseline's events/s. The RSS
+/// bound is near-deterministic (page-granular); the throughput floor is
+/// deliberately generous because wall clocks vary across machines —
+/// re-baseline on faster/slower hardware via scripts/bench_baseline.sh.
+int compare_capacity(const char* baseline_path, const char* current_path) {
+  constexpr double kRssSlack = 1.15;
+  constexpr double kThroughputFloor = 0.40;
+  bool io_error = false;
+  const auto baseline = load_bench(baseline_path, &io_error);
+  const auto current = load_bench(current_path, &io_error);
+  if (io_error) return 2;
+  if (!baseline.has_value() || !current.has_value()) return 1;
+
+  const auto want = capacity_rows(*baseline);
+  const auto got = capacity_rows(*current);
+  if (want.empty()) {
+    std::fprintf(stderr, "%s: no fig10_1m_capacity section to compare\n",
+                 baseline_path);
+    return 1;
+  }
+  int code = 0;
+  for (const auto& [label, base] : want) {
+    const auto it = got.find(label);
+    if (it == got.end()) {
+      std::fprintf(stderr, "capacity-compare: row '%s' missing from %s\n",
+                   label.c_str(), current_path);
+      code = 1;
+      continue;
+    }
+    const CapacityRow& cur = it->second;
+    int row_code = 0;
+    if (cur.ues < base.ues) {
+      std::fprintf(stderr,
+                   "capacity-compare: '%s' population shrank: %.0f UEs "
+                   "(baseline %.0f)\n",
+                   label.c_str(), cur.ues, base.ues);
+      row_code = 1;
+    }
+    if (cur.peak_rss > base.peak_rss * kRssSlack) {
+      std::fprintf(stderr,
+                   "capacity-compare: '%s' peak RSS regressed: %.0f bytes "
+                   "(baseline %.0f, slack %.2fx)\n",
+                   label.c_str(), cur.peak_rss, base.peak_rss, kRssSlack);
+      row_code = 1;
+    }
+    if (cur.ops_per_s < base.ops_per_s * kThroughputFloor) {
+      std::fprintf(stderr,
+                   "capacity-compare: '%s' throughput collapsed: %.0f "
+                   "ops/s (baseline %.0f, floor %.2fx)\n",
+                   label.c_str(), cur.ops_per_s, base.ops_per_s,
+                   kThroughputFloor);
+      row_code = 1;
+    }
+    if (row_code == 0)
+      std::printf("capacity-compare: %s: rss %.0f <= %.0f, %.0f ops/s OK\n",
+                  label.c_str(), cur.peak_rss, base.peak_rss * kRssSlack,
+                  cur.ops_per_s);
+    code |= row_code;
+  }
+  return code;
+}
+
 /// Load + parse + validate one scale-lint-v1 document.
 std::optional<scale::obs::Json> load_lint(const char* path, bool* io_error) {
   std::ifstream in(path);
@@ -219,10 +319,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <file.json>...\n"
                  "       %s --compare-allocs <baseline.json> <current.json>\n"
+                 "       %s --compare-capacity <baseline.json> "
+                 "<current.json>\n"
                  "       %s --lint <file.json>...\n"
                  "       %s --compare-lint <baseline.json> <current.json>\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
+  }
+  if (std::string(argv[1]) == "--compare-capacity") {
+    if (argc != 4) {
+      std::fprintf(
+          stderr,
+          "usage: %s --compare-capacity <baseline.json> <current.json>\n",
+          argv[0]);
+      return 2;
+    }
+    return compare_capacity(argv[2], argv[3]);
   }
   if (std::string(argv[1]) == "--compare-allocs") {
     if (argc != 4) {
